@@ -1,0 +1,104 @@
+// bench_test.go holds one testing.B benchmark per reproduced table and
+// figure (see DESIGN.md section 6 and EXPERIMENTS.md): each bench runs the
+// corresponding harness driver at ScaleSmall, so `go test -bench=. -benchmem`
+// regenerates a reduced version of the full experiment suite and reports
+// its cost. cmd/experiments runs the same drivers at full scale.
+package netdecomp_test
+
+import (
+	"io"
+	"testing"
+
+	"netdecomp/internal/harness"
+)
+
+// benchDriver runs one harness experiment per iteration, varying the seed
+// so the work is not trivially cacheable, and renders the table to io.Discard.
+func benchDriver(b *testing.B, id string) {
+	b.Helper()
+	driver := harness.Lookup(id)
+	if driver == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := driver(harness.Config{Scale: harness.ScaleSmall, Seed: uint64(i), Trials: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1Theorem1Sweep regenerates table T1: the Theorem 1 parameter
+// sweep (strong diameter ≤ 2k−2, colors ≤ (cn)^{1/k}·ln(cn), rounds ≤
+// k(cn)^{1/k}·ln(cn)).
+func BenchmarkT1Theorem1Sweep(b *testing.B) { benchDriver(b, "T1") }
+
+// BenchmarkT2Theorem2Staged regenerates table T2: the staged-β color
+// improvement of Theorem 2 (colors ≤ 4k(cn)^{1/k}).
+func BenchmarkT2Theorem2Staged(b *testing.B) { benchDriver(b, "T2") }
+
+// BenchmarkT3HighRadius regenerates table T3: the high-radius regime of
+// Theorem 3 (colors ≤ λ).
+func BenchmarkT3HighRadius(b *testing.B) { benchDriver(b, "T3") }
+
+// BenchmarkT4HeadlineScaling regenerates table T4: strong (O(log n),
+// O(log n)) decomposition in O(log² n) rounds at k = ⌈ln n⌉.
+func BenchmarkT4HeadlineScaling(b *testing.B) { benchDriver(b, "T4") }
+
+// BenchmarkT5VersusLinialSaks regenerates table T5: strong-vs-weak
+// head-to-head against Linial–Saks.
+func BenchmarkT5VersusLinialSaks(b *testing.B) { benchDriver(b, "T5") }
+
+// BenchmarkT6TruncationEvents regenerates table T6: the Lemma 1 truncation
+// probability bound 2/c.
+func BenchmarkT6TruncationEvents(b *testing.B) { benchDriver(b, "T6") }
+
+// BenchmarkT7SurvivalDecay regenerates table T7: the Claim 6 geometric
+// survival envelope and Corollary 7 exhaustion probability.
+func BenchmarkT7SurvivalDecay(b *testing.B) { benchDriver(b, "T7") }
+
+// BenchmarkT8MPXPartition regenerates table T8: MPX cut fraction O(β) and
+// diameter O(log n / β).
+func BenchmarkT8MPXPartition(b *testing.B) { benchDriver(b, "T8") }
+
+// BenchmarkT9Applications regenerates table T9: MIS / coloring / matching
+// in O(D·χ) rounds versus Luby.
+func BenchmarkT9Applications(b *testing.B) { benchDriver(b, "T9") }
+
+// BenchmarkT10CongestAccounting regenerates table T10: O(1)-word messages
+// on the real message-passing engine.
+func BenchmarkT10CongestAccounting(b *testing.B) { benchDriver(b, "T10") }
+
+// BenchmarkT11NeighborhoodCovers regenerates table T11: W-neighborhood
+// covers built from decompositions of power graphs (the [ABCP92]
+// connection of Section 1.1).
+func BenchmarkT11NeighborhoodCovers(b *testing.B) { benchDriver(b, "T11") }
+
+// BenchmarkT12Spanners regenerates table T12: sparse skeleton spanners
+// from cluster BFS trees plus bridges (the [DMP+05] connection).
+func BenchmarkT12Spanners(b *testing.B) { benchDriver(b, "T12") }
+
+// BenchmarkT13SequentialYardstick regenerates table T13: the distributed
+// algorithm against the deterministic sequential ball-carving existence
+// bound.
+func BenchmarkT13SequentialYardstick(b *testing.B) { benchDriver(b, "T13") }
+
+// BenchmarkA1ForwardingAblation regenerates ablation A1: top-2 forwarding
+// is lossless, top-1 is not.
+func BenchmarkA1ForwardingAblation(b *testing.B) { benchDriver(b, "A1") }
+
+// BenchmarkF1SurvivalCurve regenerates figure F1: the per-phase survival
+// curve against the geometric envelope.
+func BenchmarkF1SurvivalCurve(b *testing.B) { benchDriver(b, "F1") }
+
+// BenchmarkF2TradeoffFrontier regenerates figure F2: the diameter/colors
+// frontier spanned by Theorems 1 and 3.
+func BenchmarkF2TradeoffFrontier(b *testing.B) { benchDriver(b, "F2") }
+
+// BenchmarkF3RoundsScaling regenerates figure F3: round growth versus n
+// for Elkin–Neiman and Linial–Saks at k = ⌈ln n⌉.
+func BenchmarkF3RoundsScaling(b *testing.B) { benchDriver(b, "F3") }

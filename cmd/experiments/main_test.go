@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "A1", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== A1") {
+		t.Fatalf("missing table header:\n%s", out.String())
+	}
+}
+
+func TestRunSubsetAndCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "t6", "-trials", "2", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "c,") {
+		t.Fatalf("csv output wrong:\n%s", s)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "T99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

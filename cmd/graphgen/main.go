@@ -1,0 +1,44 @@
+// Command graphgen emits a generated workload graph as a plain edge list
+// ("n m" header line, then one "u v" pair per line), the interchange
+// format other tools and scripts can consume.
+//
+// Example:
+//
+//	graphgen -family ringofcliques -n 512 -seed 7 > roc.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graphio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	family := fs.String("family", "gnp", "graph family (see gen.ParseFamily)")
+	n := fs.Int("n", 1024, "approximate number of vertices")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := gen.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	g, err := gen.Build(fam, *n, *seed)
+	if err != nil {
+		return err
+	}
+	return graphio.Write(w, g)
+}

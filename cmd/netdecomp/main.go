@@ -1,0 +1,144 @@
+// Command netdecomp runs one strong-diameter network decomposition on a
+// generated graph, verifies it, and prints the measured parameters next to
+// the theorem bounds.
+//
+// Examples:
+//
+//	netdecomp -family gnp -n 4096 -k 8
+//	netdecomp -family grid -n 1024 -variant t3 -lambda 3
+//	netdecomp -family gnp -n 1024 -distributed -parallel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netdecomp/internal/core"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/graphio"
+	"netdecomp/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netdecomp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("netdecomp", flag.ContinueOnError)
+	family := fs.String("family", "gnp", "graph family (gnp, grid, torus, tree, path, cycle, hypercube, regular, ringofcliques, caterpillar, smallworld)")
+	input := fs.String("input", "", "read the graph from an edge-list file instead of generating one")
+	n := fs.Int("n", 1024, "approximate number of vertices")
+	k := fs.Int("k", 0, "radius parameter (0 = ceil(ln n))")
+	lambda := fs.Int("lambda", 2, "color budget for -variant t3")
+	c := fs.Float64("c", 8, "confidence parameter (failure probability <= 3/c)")
+	variantName := fs.String("variant", "t1", "theorem variant: t1, t2 or t3")
+	seed := fs.Uint64("seed", 1, "random seed")
+	mode := fs.String("mode", "cap", "radius mode: cap (paper) or exact")
+	force := fs.Bool("force", false, "keep carving past the budget until complete")
+	distributed := fs.Bool("distributed", false, "execute on the message-passing engine")
+	parallel := fs.Bool("parallel", false, "with -distributed: use the goroutine-parallel scheduler")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	var source string
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		g, err = graphio.Read(f)
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *input, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		source = *input
+	} else {
+		fam, err := gen.ParseFamily(*family)
+		if err != nil {
+			return err
+		}
+		g, err = gen.Build(fam, *n, *seed)
+		if err != nil {
+			return err
+		}
+		source = fam.String()
+	}
+	variant, err := core.ParseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Variant:       variant,
+		K:             *k,
+		Lambda:        *lambda,
+		C:             *c,
+		Seed:          *seed,
+		ForceComplete: *force,
+	}
+	switch *mode {
+	case "cap":
+		opts.RadiusMode = core.RadiusCap
+	case "exact":
+		opts.RadiusMode = core.RadiusExact
+	default:
+		return fmt.Errorf("unknown -mode %q (want cap or exact)", *mode)
+	}
+
+	var dec *core.Decomposition
+	if *distributed {
+		dec, err = core.RunDistributed(g, opts, dist.Options{Parallel: *parallel})
+	} else {
+		dec, err = core.Run(g, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "graph    : %s (%s)\n", g, source)
+	fmt.Fprintf(w, "options  : variant=%s k=%d c=%v seed=%d mode=%s\n",
+		dec.Opts.Variant, dec.K, dec.Opts.C, dec.Opts.Seed, dec.Opts.RadiusMode)
+	fmt.Fprintf(w, "result   : %s\n", dec)
+	fmt.Fprintf(w, "cost     : rounds=%d messages=%d words=%d maxMsgWords=%d\n",
+		dec.Rounds, dec.Messages, dec.MsgWords, dec.MaxMsgWords)
+	fmt.Fprintf(w, "events   : truncations=%d centerViolations=%d\n",
+		dec.TruncationEvents, dec.CenterViolations)
+	sizes := dec.Sizes()
+	fmt.Fprintf(w, "clusters : %d total, %d singletons, mean %.1f, median %d, max %d\n",
+		sizes.Clusters, sizes.Singletons, sizes.Mean, sizes.Median, sizes.Max)
+
+	clusters := make([][]int, len(dec.Clusters))
+	colors := make([]int, len(dec.Clusters))
+	for i := range dec.Clusters {
+		clusters[i] = dec.Clusters[i].Members
+		colors[i] = dec.Clusters[i].Color
+	}
+	rep := verify.Decomposition(g, clusters, colors, dec.Complete, true)
+	fmt.Fprintf(w, "verify   : valid=%v strongDiam=%d weakDiam=%d colors=%d coverage=%.3f\n",
+		rep.Valid(), rep.MaxStrongDiameter, rep.MaxWeakDiameter, rep.Colors, rep.Coverage)
+	if dBound, err := core.TheoremDiameterBound(g.N(), opts); err == nil {
+		fmt.Fprintf(w, "bounds   : diameter<=%d", dBound)
+		if cBound, err := core.TheoremColorBound(g.N(), opts); err == nil {
+			fmt.Fprintf(w, " colors<=%.1f", cBound)
+		}
+		if rBound, err := core.TheoremRoundBound(g.N(), opts); err == nil {
+			fmt.Fprintf(w, " rounds<=%.0f", rBound)
+		}
+		fmt.Fprintln(w)
+	}
+	if !rep.Valid() {
+		return rep.Err()
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "grid", "-n", "100", "-k", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"graph", "verify", "valid=true", "bounds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{"-family", "gnp", "-n", "128", "-variant", "t2", "-k", "3"},
+		{"-family", "gnp", "-n", "128", "-variant", "t3", "-lambda", "2"},
+		{"-family", "tree", "-n", "128", "-mode", "exact", "-force"},
+		{"-family", "cycle", "-n", "64", "-distributed"},
+		{"-family", "cycle", "-n", "64", "-distributed", "-parallel"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "valid=true") {
+			t.Fatalf("%v: verification not reported valid:\n%s", args, out.String())
+		}
+	}
+}
+
+func TestRunInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("4 3\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-k", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=4") {
+		t.Fatalf("input file not used:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-family", "nope"},
+		{"-variant", "nope"},
+		{"-mode", "nope"},
+		{"-input", "/nonexistent/file"},
+		{"-c", "1"},
+		{"-distributed", "-mode", "exact"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Covers and spanners: the two derived structures Section 1.1 of the
+// paper connects network decomposition to. A W-neighborhood cover (every
+// ball B(v, W) inside one cover set, few sets per vertex) falls out of
+// decomposing the power graph G^{2W+1} and expanding clusters by W; a
+// sparse skeleton spanner falls out of keeping each cluster's BFS tree
+// plus one bridge per adjacent cluster pair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"netdecomp"
+)
+
+func main() {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(13), 600, 0.008)
+	fmt.Printf("graph: n=%d m=%d\n\n", g.N(), g.M())
+
+	// --- Neighborhood covers for W = 1, 2 ---
+	for _, w := range []int{1, 2} {
+		c, err := netdecomp.BuildCover(g, netdecomp.CoverOptions{W: w, K: 4, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		diam, err := c.Verify(g) // checks every ball is covered
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cover W=%d: %3d sets, degree %d (≤ χ=%d), max set diameter %d — every B(v,%d) covered\n",
+			w, len(c.Clusters), c.Degree, c.Colors, diam, w)
+	}
+
+	// --- Skeleton spanner ---
+	k := int(math.Ceil(math.Log(float64(g.N()))))
+	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: k, C: 8, Seed: 5, ForceComplete: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := netdecomp.BuildSpanner(g, dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxStretch, meanStretch, err := sp.StretchSample(g, 7, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspanner: %d of %d edges kept (%.1f%%) = %d tree + %d bridges\n",
+		sp.Edges, g.M(), 100*float64(sp.Edges)/float64(g.M()), sp.TreeEdges, sp.BridgeEdges)
+	fmt.Printf("stretch on 50 sampled pairs: max %.2f, mean %.2f; spanner connected: %v\n",
+		maxStretch, meanStretch, sp.G.IsConnected())
+}

@@ -1,0 +1,73 @@
+// Symmetry breaking: the original motivation for network decomposition
+// (Awerbuch et al. 1989, and Section 1.1 of Elkin–Neiman). Once a (D, χ)
+// decomposition is in hand, maximal independent set, (Δ+1)-coloring and
+// maximal matching all fall in O(D·χ) distributed rounds by processing the
+// color classes one after another — clusters of one class are pairwise
+// non-adjacent, so they are solved in parallel, each by a local
+// collect/solve/disseminate in O(D) rounds.
+//
+// The example runs all three applications on one decomposition of a random
+// graph and compares the MIS cost against Luby's direct algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"netdecomp"
+)
+
+func main() {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(3), 1500, 0.004)
+	fmt.Printf("graph: n=%d m=%d maxDeg=%d\n", g.N(), g.M(), g.MaxDegree())
+
+	// Applications need a total partition, so force completion (the
+	// probability any extra phases are needed is at most 1/c).
+	k := int(math.Ceil(math.Log(float64(g.N()))))
+	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: k, C: 8, Seed: 11, ForceComplete: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := netdecomp.Verify(g, dec)
+	if !rep.Valid() {
+		log.Fatalf("bad decomposition: %v", rep.Err())
+	}
+	fmt.Printf("decomposition: D=%d chi=%d (D*chi=%d), built in %d rounds\n",
+		rep.MaxStrongDiameter, dec.Colors, rep.MaxStrongDiameter*dec.Colors, dec.Rounds)
+
+	in, err := netdecomp.AppInputFromDecomposition(dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mis, err := netdecomp.MIS(g, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MIS       : %5d vertices in %4d rounds (O(D*chi) sweep)\n", mis.Size, mis.Rounds)
+
+	col, err := netdecomp.Coloring(g, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coloring  : %5d colors  in %4d rounds (Δ+1 = %d allowed)\n",
+		col.NumColors, col.Rounds, g.MaxDegree()+1)
+
+	mat, err := netdecomp.Matching(g, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matching  : %5d edges   in %4d rounds (%d propose/accept iterations)\n",
+		mat.Size, mat.Rounds, mat.Proposals)
+
+	luby, err := netdecomp.LubyMIS(g, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Luby MIS  : %5d vertices in %4d rounds (direct randomized baseline)\n",
+		luby.Size, luby.Rounds)
+
+	fmt.Println("\nall three outputs are verified maximal/proper by internal/verify in the test suite;")
+	fmt.Println("the decomposition pays its round cost once and then amortizes it across every application.")
+}

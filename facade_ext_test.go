@@ -1,0 +1,93 @@
+package netdecomp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"netdecomp"
+)
+
+// TestFacadeCoverAndSpanner exercises the derived-structure exports.
+func TestFacadeCoverAndSpanner(t *testing.T) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(21), 200, 0.02)
+
+	c, err := netdecomp.BuildCover(g, netdecomp.CoverOptions{W: 1, K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degree > c.Colors {
+		t.Fatalf("cover degree %d exceeds chi %d", c.Degree, c.Colors)
+	}
+
+	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: 4, C: 8, Seed: 2, ForceComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := netdecomp.BuildSpanner(g, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.G.IsConnected() {
+		t.Fatal("spanner disconnected")
+	}
+	if _, _, err := sp.StretchSample(g, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeGraphIO exercises the interchange round trip.
+func TestFacadeGraphIO(t *testing.T) {
+	g := netdecomp.Grid(6, 6)
+	var buf bytes.Buffer
+	if err := netdecomp.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := netdecomp.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("graph IO round trip changed the graph")
+	}
+}
+
+// TestFacadeExtraBaselines exercises RandomColoring and MPXDistributed.
+func TestFacadeExtraBaselines(t *testing.T) {
+	g := netdecomp.RingOfCliques(6, 5)
+	col, err := netdecomp.RandomColoring(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("random coloring used %d colors", col.NumColors)
+	}
+	a, err := netdecomp.MPX(g, netdecomp.MPXOptions{Beta: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netdecomp.MPXDistributed(g, netdecomp.MPXOptions{Beta: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CutEdges != b.CutEdges || len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("MPX implementations disagree through the facade")
+	}
+}
+
+// TestFacadeBallCarving exercises the sequential yardstick baseline.
+func TestFacadeBallCarving(t *testing.T) {
+	g := netdecomp.Grid(10, 10)
+	p, err := netdecomp.BallCarving(g, netdecomp.BCOptions{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete {
+		t.Fatal("ball carving incomplete")
+	}
+	if sd, disc := p.StrongDiameter(g); disc != 0 || sd > 14 {
+		t.Fatalf("ball carving diameter %d (disc %d)", sd, disc)
+	}
+}

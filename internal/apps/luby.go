@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"fmt"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// LubyMIS computes a maximal independent set with Luby's classic
+// randomized algorithm: in every iteration each undecided vertex draws a
+// random priority, joins the set when its priority beats all undecided
+// neighbors, and removes itself and its neighbors on joining. It finishes
+// in O(log n) iterations with high probability and serves as the
+// non-decomposition baseline of experiment T9.
+//
+// Rounds are counted as two per iteration (exchange priorities, exchange
+// decisions), the standard CONGEST accounting.
+func LubyMIS(g *graph.Graph, seed uint64) (*MISResult, error) {
+	n := g.N()
+	res := &MISResult{InSet: make([]bool, n)}
+	undecided := make([]bool, n)
+	remaining := n
+	for v := range undecided {
+		undecided[v] = true
+	}
+	priority := make([]uint64, n)
+	// n iterations is an extreme upper bound; Luby needs O(log n) whp, so
+	// exceeding the bound indicates a bug rather than bad luck.
+	for iter := 0; remaining > 0; iter++ {
+		if iter > 4*n+64 {
+			return nil, fmt.Errorf("apps: Luby exceeded %d iterations; this indicates a bug", iter)
+		}
+		for v := 0; v < n; v++ {
+			if undecided[v] {
+				priority[v] = randx.Derive(seed, uint64(iter), uint64(v)).Uint64()
+			}
+		}
+		var joiners []int
+		for v := 0; v < n; v++ {
+			if !undecided[v] {
+				continue
+			}
+			wins := true
+			for _, w := range g.Neighbors(v) {
+				if !undecided[w] {
+					continue
+				}
+				// Ties (astronomically unlikely) break toward smaller id.
+				if priority[w] < priority[v] || (priority[w] == priority[v] && int(w) < v) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				joiners = append(joiners, v)
+			}
+		}
+		for _, v := range joiners {
+			res.InSet[v] = true
+			res.Size++
+			if undecided[v] {
+				undecided[v] = false
+				remaining--
+			}
+			for _, w := range g.Neighbors(v) {
+				if undecided[w] {
+					undecided[w] = false
+					remaining--
+				}
+			}
+		}
+		res.Rounds += 2
+	}
+	return res, nil
+}
+
+// GreedyMIS is the sequential first-fit maximal independent set, used by
+// tests as an independent correctness reference (it is not a distributed
+// algorithm; Rounds is reported as 0).
+func GreedyMIS(g *graph.Graph) *MISResult {
+	res := &MISResult{InSet: make([]bool, g.N())}
+	for v := 0; v < g.N(); v++ {
+		free := true
+		for _, w := range g.Neighbors(v) {
+			if res.InSet[w] {
+				free = false
+				break
+			}
+		}
+		if free {
+			res.InSet[v] = true
+			res.Size++
+		}
+	}
+	return res
+}
+
+// GreedyMatching is the sequential greedy maximal matching reference.
+func GreedyMatching(g *graph.Graph) *MatchingResult {
+	res := &MatchingResult{Mate: make([]int, g.N())}
+	for v := range res.Mate {
+		res.Mate[v] = -1
+	}
+	for _, e := range g.Edges() {
+		if res.Mate[e[0]] == -1 && res.Mate[e[1]] == -1 {
+			res.Mate[e[0]] = e[1]
+			res.Mate[e[1]] = e[0]
+			res.Size++
+		}
+	}
+	return res
+}

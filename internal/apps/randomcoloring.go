@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// RandomColoring computes a (Δ+1)-vertex-coloring with the classic
+// randomized trial algorithm (the direct baseline for the
+// decomposition-based Coloring in experiment T9): every round each
+// uncolored vertex proposes a uniformly random color from its remaining
+// palette, keeps it if no uncolored neighbor proposed the same color and
+// no colored neighbor owns it, and retries otherwise. Terminates in
+// O(log n) rounds with high probability.
+//
+// Rounds are counted as two per iteration (propose, resolve).
+func RandomColoring(g *graph.Graph, seed uint64) (*ColoringResult, error) {
+	n := g.N()
+	res := &ColoringResult{Colors: make([]int, n)}
+	for v := range res.Colors {
+		res.Colors[v] = -1
+	}
+	palette := g.MaxDegree() + 1
+	remaining := n
+	proposal := make([]int, n)
+	for iter := 0; remaining > 0; iter++ {
+		if iter > 8*n+64 {
+			return nil, fmt.Errorf("apps: RandomColoring exceeded %d iterations; this indicates a bug", iter)
+		}
+		// Propose.
+		for v := 0; v < n; v++ {
+			proposal[v] = -1
+			if res.Colors[v] != -1 {
+				continue
+			}
+			rng := randx.Derive(seed, uint64(iter), uint64(v))
+			// Sample from the free sub-palette: colors not owned by any
+			// colored neighbor. There is always at least one since the
+			// palette has Δ+1 entries.
+			free := make([]int, 0, palette)
+			taken := make(map[int]bool, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				if c := res.Colors[w]; c >= 0 {
+					taken[c] = true
+				}
+			}
+			for c := 0; c < palette; c++ {
+				if !taken[c] {
+					free = append(free, c)
+				}
+			}
+			proposal[v] = free[rng.Intn(len(free))]
+		}
+		// Resolve in two phases so this round's winners don't invalidate
+		// the check: first decide keepers purely from the proposals (on a
+		// conflict only the smallest id keeps), then apply.
+		keep := make([]bool, 0, n)
+		for v := 0; v < n; v++ {
+			ok := proposal[v] != -1
+			if ok {
+				for _, w := range g.Neighbors(v) {
+					wi := int(w)
+					if proposal[wi] == proposal[v] && wi < v {
+						ok = false
+						break
+					}
+				}
+			}
+			keep = append(keep, ok)
+		}
+		for v := 0; v < n; v++ {
+			if !keep[v] {
+				continue
+			}
+			res.Colors[v] = proposal[v]
+			if proposal[v]+1 > res.NumColors {
+				res.NumColors = proposal[v] + 1
+			}
+			remaining--
+		}
+		res.Rounds += 2
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+	"netdecomp/internal/verify"
+)
+
+func TestRandomColoringValid(t *testing.T) {
+	for name, g := range testGraphs {
+		for seed := uint64(0); seed < 3; seed++ {
+			res, err := RandomColoring(g, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := verify.Coloring(g, res.Colors, g.MaxDegree()+1); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.Rounds <= 0 && g.N() > 0 {
+				t.Fatalf("%s: no rounds accounted", name)
+			}
+		}
+	}
+}
+
+func TestRandomColoringCompleteGraph(t *testing.T) {
+	// K_n needs exactly n colors; the palette Δ+1 = n just suffices.
+	g := gen.Complete(12)
+	res, err := RandomColoring(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Coloring(g, res.Colors, 12); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 12 {
+		t.Fatalf("K12 colored with %d colors", res.NumColors)
+	}
+}
+
+func TestRandomColoringEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	res, err := RandomColoring(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.NumColors != 0 {
+		t.Fatal("empty coloring wrong")
+	}
+}
+
+func TestRandomColoringDeterministic(t *testing.T) {
+	g := gen.GnpConnected(randx.New(7), 150, 0.02)
+	a, err := RandomColoring(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomColoring(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("same seed produced different colorings")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+func TestBallCarvingValidDecomposition(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":  gen.GnpConnected(randx.New(1), 300, 0.01),
+		"grid": gen.Grid(16, 16),
+		"tree": gen.RandomTree(randx.New(2), 250),
+		"roc":  gen.RingOfCliques(12, 6),
+		"path": gen.Path(100),
+	}
+	for name, g := range graphs {
+		k := int(math.Ceil(math.Log2(float64(g.N()))))
+		p, err := BallCarving(g, BCOptions{K: k})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !p.Complete {
+			t.Fatalf("%s: incomplete", name)
+		}
+		// Structural validity: disjoint cover + proper coloring.
+		seen := make([]bool, g.N())
+		for _, c := range p.Clusters {
+			for _, v := range c.Members {
+				if seen[v] {
+					t.Fatalf("%s: vertex %d in two clusters", name, v)
+				}
+				seen[v] = true
+			}
+		}
+		for _, e := range g.Edges() {
+			cu, cv := p.ClusterOf[e[0]], p.ClusterOf[e[1]]
+			if cu != cv && p.Clusters[cu].Color == p.Clusters[cv].Color {
+				t.Fatalf("%s: same-color adjacent clusters", name)
+			}
+		}
+		// Strong diameter ≤ 2K and clusters connected (balls are
+		// connected by construction).
+		sd, disc := p.StrongDiameter(g)
+		if disc != 0 {
+			t.Fatalf("%s: %d disconnected clusters", name, disc)
+		}
+		if sd > 2*k {
+			t.Fatalf("%s: strong diameter %d exceeds 2K = %d", name, sd, 2*k)
+		}
+		// At K = log2 n the existence bound promises O(log n) colors;
+		// allow a generous constant.
+		if float64(p.Colors) > 6*math.Log2(float64(g.N()))+4 {
+			t.Fatalf("%s: %d colors for n=%d", name, p.Colors, g.N())
+		}
+	}
+}
+
+func TestBallCarvingDeterministic(t *testing.T) {
+	g := gen.GnpConnected(randx.New(3), 200, 0.015)
+	a, err := BallCarving(g, BCOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BallCarving(g, BCOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Clusters, b.Clusters) {
+		t.Fatal("deterministic algorithm produced different outputs")
+	}
+}
+
+func TestBallCarvingKOne(t *testing.T) {
+	// K=1: growth = n, shells almost never sustain that, so clusters are
+	// essentially radius-0..1 balls; the decomposition must still be valid.
+	g := gen.Cycle(32)
+	p, err := BallCarving(g, BCOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete {
+		t.Fatal("incomplete")
+	}
+	if sd, disc := p.StrongDiameter(g); disc != 0 || sd > 2 {
+		t.Fatalf("K=1 diameter %d (disc %d)", sd, disc)
+	}
+}
+
+func TestBallCarvingCompleteGraph(t *testing.T) {
+	// K_n: the first ball swallows everything at radius ≤ 1.
+	g := gen.Complete(20)
+	p, err := BallCarving(g, BCOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != 1 || p.Colors != 1 {
+		t.Fatalf("K20 carved %d clusters, %d colors", len(p.Clusters), p.Colors)
+	}
+}
+
+func TestBallCarvingValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := BallCarving(g, BCOptions{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	p, err := BallCarving(empty, BCOptions{K: 2})
+	if err != nil || !p.Complete {
+		t.Fatalf("empty graph: %v %v", p, err)
+	}
+}
+
+func TestBallCarvingDisconnectedInput(t *testing.T) {
+	b := graph.NewBuilder(20)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	for i := 10; i < 19; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	p, err := BallCarving(g, BCOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete {
+		t.Fatal("disconnected input not fully carved")
+	}
+	if _, disc := p.StrongDiameter(g); disc != 0 {
+		t.Fatal("carved cluster spans components")
+	}
+}
+
+func BenchmarkBallCarving(b *testing.B) {
+	g := gen.GnpConnected(randx.New(1), 1024, 0.006)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BallCarving(g, BCOptions{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package baseline implements the two algorithms the paper positions
+// itself against and builds upon:
+//
+//   - Linial–Saks (Combinatorica 1993): the classic randomized weak
+//     (O(log n), O(log n)) network decomposition. The paper's headline
+//     result is that its strong-diameter analogue is achievable with the
+//     same parameters; experiment T5 measures how badly LS93 clusters
+//     degrade under the strong-diameter lens.
+//   - Miller–Peng–Xu (SPAA 2013): the shifted-exponential "padded
+//     partition" whose shifted-shortest-path comparison rule Elkin–Neiman
+//     adapt from the PRAM model to distributed network decomposition.
+//     Experiment T8 reproduces its cut-fraction and diameter behaviour.
+package baseline
+
+import (
+	"sort"
+
+	"netdecomp/internal/graph"
+)
+
+// Cluster is one cluster of a baseline clustering.
+type Cluster struct {
+	// Members are the vertex ids, sorted ascending.
+	Members []int
+	// Center is the vertex whose broadcast captured the members.
+	Center int
+	// Phase is the phase that carved the cluster (always 0 for MPX).
+	Phase int
+	// Color is the compressed color class (phase index among non-empty
+	// phases for LS93; always 0 for MPX, which is a partition rather than
+	// a decomposition).
+	Color int
+}
+
+// Partition is the result shared by the baseline algorithms.
+type Partition struct {
+	N         int
+	Clusters  []Cluster
+	ClusterOf []int // -1 when unassigned
+	Colors    int
+	// PhasesUsed / PhaseBudget describe the phase loop (LS93).
+	PhasesUsed  int
+	PhaseBudget int
+	// Rounds and Messages account the distributed cost: rounds are the
+	// synchronous rounds of the standard distributed implementation, and
+	// messages count each broadcast forwarded over each edge once.
+	Rounds   int
+	Messages int64
+	Complete bool
+}
+
+// ColorOf returns the color of v's cluster, or -1 when unassigned.
+func (p *Partition) ColorOf(v int) int {
+	ci := p.ClusterOf[v]
+	if ci < 0 {
+		return -1
+	}
+	return p.Clusters[ci].Color
+}
+
+// MemberLists returns the clusters as plain member slices, the shape the
+// verify package consumes.
+func (p *Partition) MemberLists() [][]int {
+	out := make([][]int, len(p.Clusters))
+	for i := range p.Clusters {
+		out[i] = p.Clusters[i].Members
+	}
+	return out
+}
+
+// DisconnectedClusters counts clusters whose induced subgraph is
+// disconnected — i.e. clusters with infinite strong diameter. This is the
+// quantity that separates weak from strong decompositions.
+func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
+	count := 0
+	for i := range p.Clusters {
+		if _, ok := g.SubsetStrongDiameter(p.Clusters[i].Members); !ok {
+			count++
+		}
+	}
+	return count
+}
+
+// StrongDiameter returns the maximum strong diameter over connected
+// clusters and the number of disconnected (infinite-diameter) clusters.
+func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected int, disconnected int) {
+	for i := range p.Clusters {
+		d, ok := g.SubsetStrongDiameter(p.Clusters[i].Members)
+		if !ok {
+			disconnected++
+			continue
+		}
+		if d > maxConnected {
+			maxConnected = d
+		}
+	}
+	return maxConnected, disconnected
+}
+
+// WeakDiameter returns the maximum weak diameter over all clusters; ok is
+// false if some cluster spans two components of g.
+func (p *Partition) WeakDiameter(g *graph.Graph) (int, bool) {
+	max := 0
+	for i := range p.Clusters {
+		d, ok := g.SubsetWeakDiameter(p.Clusters[i].Members)
+		if !ok {
+			return 0, false
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, true
+}
+
+// addCluster appends a cluster, wiring ClusterOf, with members sorted.
+func (p *Partition) addCluster(members []int, center, phase, color int) {
+	sort.Ints(members)
+	ci := len(p.Clusters)
+	p.Clusters = append(p.Clusters, Cluster{Members: members, Center: center, Phase: phase, Color: color})
+	for _, v := range members {
+		p.ClusterOf[v] = ci
+	}
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// MPXOptions configures the Miller–Peng–Xu partition.
+type MPXOptions struct {
+	// Beta is the exponential rate: the expected fraction of cut edges is
+	// O(Beta) and cluster strong diameters are O(log n / Beta) with high
+	// probability. Must lie in (0, 1]; the MPX analysis assumes β ≤ 1/2.
+	Beta float64
+	// Seed drives the shift draws.
+	Seed uint64
+}
+
+// MPXResult is the padded partition produced by MPX: a single partition
+// (every cluster has color 0 — MPX is a low-diameter partition, not a
+// decomposition) plus the quality measures its analysis bounds.
+type MPXResult struct {
+	Partition
+	// Delta are the exponential shifts δ_u.
+	Delta []float64
+	// CutEdges is the number of edges whose endpoints lie in different
+	// clusters, and CutFraction its share of all edges.
+	CutEdges    int
+	CutFraction float64
+}
+
+// MPX computes the Miller–Peng–Xu low-diameter partition of g: every
+// vertex u draws a shift δ_u ~ Exp(β), and every vertex y joins the
+// cluster of the center u maximizing δ_u − d(u, y) (ties to the smaller
+// id). The computation is the standard shifted-start multi-source
+// Dijkstra; rounds are counted as ⌈max δ⌉ (the depth of the equivalent
+// distributed broadcast) and messages as one per edge traversal.
+func MPX(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+	if o.Beta <= 0 || o.Beta > 1 {
+		return nil, fmt.Errorf("baseline: MPX requires 0 < Beta <= 1, got %v", o.Beta)
+	}
+	n := g.N()
+	res := &MPXResult{
+		Partition: Partition{N: n, ClusterOf: make([]int, n)},
+		Delta:     make([]float64, n),
+	}
+	for v := range res.ClusterOf {
+		res.ClusterOf[v] = -1
+	}
+	if n == 0 {
+		res.Complete = true
+		return res, nil
+	}
+	maxDelta := 0.0
+	for v := 0; v < n; v++ {
+		rng := randx.Derive(o.Seed, uint64(v))
+		res.Delta[v] = randx.Exp(rng, o.Beta)
+		if res.Delta[v] > maxDelta {
+			maxDelta = res.Delta[v]
+		}
+	}
+
+	// Multi-source Dijkstra on keys f(y) = d(u, y) − δ_u: every vertex
+	// starts as its own source with key −δ_y; the winner at y is the
+	// center whose shifted distance is smallest (= shifted value largest).
+	// Stale heap entries are skipped lazily by comparing against the
+	// current tentative label.
+	winner := make([]int, n)
+	key := make([]float64, n)
+	done := make([]bool, n)
+	for v := range winner {
+		winner[v] = v
+		key[v] = -res.Delta[v]
+	}
+	pq := make(mpxHeap, 0, n)
+	for v := 0; v < n; v++ {
+		pq = append(pq, mpxItem{vertex: v, center: v, key: key[v]})
+	}
+	heap.Init(&pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(mpxItem)
+		if done[it.vertex] || it.key != key[it.vertex] || it.center != winner[it.vertex] {
+			continue
+		}
+		done[it.vertex] = true
+		for _, w := range g.Neighbors(it.vertex) {
+			if done[w] {
+				continue
+			}
+			res.Messages++
+			nk := it.key + 1
+			if nk < key[w] || (nk == key[w] && it.center < winner[w]) {
+				key[w] = nk
+				winner[w] = it.center
+				heap.Push(&pq, mpxItem{vertex: int(w), center: it.center, key: nk})
+			}
+		}
+	}
+
+	// Group into clusters by winner, ordered by center id.
+	byCenter := make(map[int][]int, n/4+1)
+	for y := 0; y < n; y++ {
+		byCenter[winner[y]] = append(byCenter[winner[y]], y)
+	}
+	centers := make([]int, 0, len(byCenter))
+	for c := range byCenter {
+		centers = append(centers, c)
+	}
+	insertionSortInts(centers)
+	for _, c := range centers {
+		res.addCluster(byCenter[c], c, 0, 0)
+	}
+	res.Colors = 1
+	res.PhasesUsed = 1
+	res.PhaseBudget = 1
+	res.Complete = true
+	res.Rounds = int(math.Ceil(maxDelta))
+
+	for _, e := range g.Edges() {
+		if winner[e[0]] != winner[e[1]] {
+			res.CutEdges++
+		}
+	}
+	if g.M() > 0 {
+		res.CutFraction = float64(res.CutEdges) / float64(g.M())
+	}
+	return res, nil
+}
+
+// mpxItem is a priority-queue entry of the shifted Dijkstra.
+type mpxItem struct {
+	vertex int
+	center int
+	key    float64
+}
+
+// mpxHeap orders items by key, breaking ties toward the smaller center so
+// that the partition is deterministic.
+type mpxHeap []mpxItem
+
+func (h mpxHeap) Len() int { return len(h) }
+func (h mpxHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].center < h[j].center
+}
+func (h mpxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mpxHeap) Push(x any)   { *h = append(*h, x.(mpxItem)) }
+func (h *mpxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"fmt"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// errBeta reports an out-of-range exponential rate.
+func errBeta(beta float64) error {
+	return fmt.Errorf("baseline: MPX requires 0 < Beta <= 1, got %v", beta)
+}
+
+// MPXDistributed computes the same Miller–Peng–Xu partition as MPX, but as
+// a synchronous round simulation: every vertex starts with its own shifted
+// value δ_y and repeatedly forwards its current best (center, value) pair
+// decremented by one hop, keeping only the maximum — top-1 forwarding,
+// which is lossless for a partition because only the winner matters (the
+// same argument that makes the paper's top-2 rule lossless for the
+// decomposition's two-value comparison).
+//
+// It runs until no message improves any state, counts the rounds and
+// messages it used, and must agree with MPX exactly on every cluster for
+// the same options; the tests assert that.
+func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+	if o.Beta <= 0 || o.Beta > 1 {
+		return nil, errBeta(o.Beta)
+	}
+	n := g.N()
+	res := &MPXResult{
+		Partition: Partition{N: n, ClusterOf: make([]int, n)},
+		Delta:     make([]float64, n),
+	}
+	for v := range res.ClusterOf {
+		res.ClusterOf[v] = -1
+	}
+	if n == 0 {
+		res.Complete = true
+		return res, nil
+	}
+	for v := 0; v < n; v++ {
+		rng := randx.Derive(o.Seed, uint64(v))
+		res.Delta[v] = randx.Exp(rng, o.Beta)
+	}
+
+	winner := make([]int, n)
+	value := make([]float64, n)
+	changed := make([]bool, n)
+	dirty := make([]bool, n)
+	for v := 0; v < n; v++ {
+		winner[v] = v
+		value[v] = res.Delta[v]
+		changed[v] = true
+	}
+	snapWinner := make([]int, n)
+	snapValue := make([]float64, n)
+	for {
+		copy(snapWinner, winner)
+		copy(snapValue, value)
+		sent := false
+		for v := 0; v < n; v++ {
+			if !changed[v] || snapValue[v] < 1 {
+				continue
+			}
+			m := snapValue[v] - 1
+			c := snapWinner[v]
+			for _, w := range g.Neighbors(v) {
+				res.Messages++
+				sent = true
+				if m > value[w] || (m == value[w] && c < winner[w]) {
+					value[w] = m
+					winner[w] = c
+					dirty[w] = true
+				}
+			}
+		}
+		changed, dirty = dirty, changed
+		for v := range dirty {
+			dirty[v] = false
+		}
+		if !sent {
+			break
+		}
+		res.Rounds++
+	}
+
+	byCenter := make(map[int][]int, n/4+1)
+	for y := 0; y < n; y++ {
+		byCenter[winner[y]] = append(byCenter[winner[y]], y)
+	}
+	centers := make([]int, 0, len(byCenter))
+	for c := range byCenter {
+		centers = append(centers, c)
+	}
+	insertionSortInts(centers)
+	for _, c := range centers {
+		res.addCluster(byCenter[c], c, 0, 0)
+	}
+	res.Colors = 1
+	res.PhasesUsed = 1
+	res.PhaseBudget = 1
+	res.Complete = true
+
+	for _, e := range g.Edges() {
+		if winner[e[0]] != winner[e[1]] {
+			res.CutEdges++
+		}
+	}
+	if g.M() > 0 {
+		res.CutFraction = float64(res.CutEdges) / float64(g.M())
+	}
+	return res, nil
+}

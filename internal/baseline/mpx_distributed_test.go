@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+func TestMPXDistributedMatchesExact(t *testing.T) {
+	// The round-based top-1 forwarding implementation and the heap-based
+	// shifted Dijkstra are independent algorithms for the same partition;
+	// they must agree on every cluster, cut edge and shift.
+	graphs := []*graph.Graph{
+		gen.GnpConnected(randx.New(1), 250, 0.015),
+		gen.Grid(14, 14),
+		gen.RingOfCliques(10, 6),
+		gen.RandomTree(randx.New(2), 200),
+		gen.Path(64),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(0); seed < 3; seed++ {
+			for _, beta := range []float64{0.2, 0.4} {
+				exact, err := MPX(g, MPXOptions{Beta: beta, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				distr, err := MPXDistributed(g, MPXOptions{Beta: beta, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(exact.Clusters, distr.Clusters) {
+					t.Fatalf("graph %d seed %d beta %v: clusters differ", gi, seed, beta)
+				}
+				if exact.CutEdges != distr.CutEdges {
+					t.Fatalf("graph %d seed %d: cut edges %d vs %d", gi, seed, exact.CutEdges, distr.CutEdges)
+				}
+				if !reflect.DeepEqual(exact.Delta, distr.Delta) {
+					t.Fatalf("graph %d seed %d: shifts differ", gi, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestMPXDistributedRoundsBounded(t *testing.T) {
+	// The broadcast runs only as deep as the largest shift: rounds stay
+	// within ceil(max delta) + 1.
+	g := gen.GnpConnected(randx.New(3), 300, 0.01)
+	res, err := MPXDistributed(g, MPXOptions{Beta: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDelta := 0.0
+	for _, d := range res.Delta {
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	if float64(res.Rounds) > math.Ceil(maxDelta)+1 {
+		t.Fatalf("rounds %d exceed ceil(max delta)+1 = %v", res.Rounds, math.Ceil(maxDelta)+1)
+	}
+}
+
+func TestMPXDistributedValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := MPXDistributed(g, MPXOptions{Beta: 0}); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	res, err := MPXDistributed(empty, MPXOptions{Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("empty graph result incomplete")
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/randx"
+)
+
+func TestAblationTopTwoIsLossless(t *testing.T) {
+	// The paper's CONGEST claim: forwarding the top two values loses
+	// nothing. Across graphs, betas and seeds, keep=2 must agree with the
+	// exact broadcast on every decision and every center.
+	for seed := uint64(0); seed < 8; seed++ {
+		g := gen.GnpConnected(randx.New(seed), 200, 0.02)
+		res, err := TopKForwardingAblation(g, seed*31+1, 0.8, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DecisionMismatches != 0 || res.CenterMismatches != 0 {
+			t.Fatalf("seed %d: keep=2 mismatched exact: %+v", seed, res)
+		}
+	}
+}
+
+func TestAblationTopOneLosesInformation(t *testing.T) {
+	// keep=1 must corrupt some join decisions on dense-enough graphs: the
+	// join rule needs the runner-up value, which top-1 forwarding prunes.
+	total := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		g := gen.GnpConnected(randx.New(seed+100), 250, 0.03)
+		res, err := TopKForwardingAblation(g, seed*17+3, 0.8, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.DecisionMismatches + res.CenterMismatches
+	}
+	if total == 0 {
+		t.Fatal("keep=1 never diverged from exact across 10 seeds; the ablation is not exercising the pruning")
+	}
+}
+
+func TestAblationValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := TopKForwardingAblation(g, 1, 0.5, 3, 3); err == nil {
+		t.Fatal("keep=3 accepted")
+	}
+	if _, err := TopKForwardingAblation(g, 1, 0, 3, 2); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	if _, err := TopKForwardingAblation(g, 1, 0.5, 0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netdecomp/internal/graph"
+)
+
+// Cluster is one cluster of a network decomposition: a connected component
+// of one phase's block W_t.
+type Cluster struct {
+	// Members are the vertex ids of the cluster, sorted ascending.
+	Members []int
+	// Center is the broadcast center the members chose. Under Claim 3 of
+	// the paper every member of a connected block component chooses the
+	// same center; see Decomposition.CenterViolations for the rare
+	// truncation-induced exceptions in RadiusCap mode.
+	Center int
+	// Phase is the 0-based phase that carved this cluster.
+	Phase int
+	// Color is the compressed color class: the index of the cluster's
+	// phase among phases that produced at least one cluster. Clusters of
+	// equal color are pairwise non-adjacent.
+	Color int
+}
+
+// Decomposition is the output of a decomposition run, together with the
+// cost metrics of the distributed execution that produced it.
+type Decomposition struct {
+	// N is the number of vertices of the input graph.
+	N int
+	// Opts echoes the effective options after defaulting.
+	Opts Options
+	// K is the effective radius parameter (derived from Lambda for
+	// Theorem 3); the strong-diameter target is 2K−2.
+	K int
+	// Clusters lists the clusters in order of creation.
+	Clusters []Cluster
+	// ClusterOf maps each vertex to its index in Clusters, or -1 when the
+	// run ended with the vertex unassigned (only possible when Complete is
+	// false).
+	ClusterOf []int
+	// Colors is the number of color classes used (non-empty blocks).
+	Colors int
+	// PhasesUsed counts executed phases (including ones that carved
+	// nothing); PhaseBudget is the theorem's allowance.
+	PhasesUsed  int
+	PhaseBudget int
+	// Rounds is the number of synchronous communication rounds consumed.
+	Rounds int
+	// Messages / MsgWords / MaxMsgWords account CONGEST traffic: total
+	// messages, total words, and the largest single message in words.
+	Messages    int64
+	MsgWords    int64
+	MaxMsgWords int
+	// Complete reports whether every vertex was clustered within the
+	// budget. The theorems guarantee this with probability ≥ 1−3/c
+	// (respectively 1−5/c).
+	Complete bool
+	// TruncationEvents counts radius draws with r_v ≥ k+1 among surviving
+	// vertices — the events E_v of Lemma 1, which occur with total
+	// probability ≤ 2/c.
+	TruncationEvents int
+	// CenterViolations counts clusters whose members chose more than one
+	// center. Claim 3 proves this is zero in the absence of truncation
+	// events; it is always zero in RadiusExact mode.
+	CenterViolations int
+	// AlivePerPhase records the number of surviving vertices entering each
+	// executed phase, followed by the final survivor count. Used by the
+	// survival-decay experiments (Claim 6).
+	AlivePerPhase []int
+	// Trace holds per-phase detail when Options.CaptureTrace was set.
+	Trace *Trace
+}
+
+// Trace captures per-phase internals for validators and experiments.
+type Trace struct {
+	// Alive[t][v] reports whether v survived into phase t.
+	Alive [][]bool
+	// Radius[t][v] is the exponential draw r_v at phase t (0 for dead
+	// vertices).
+	Radius [][]float64
+	// Center[t][v] is the center v chose when it joined W_t, or -1.
+	Center [][]int
+	// Beta[t] is the exponential rate used at phase t.
+	Beta []float64
+}
+
+// ColorOf returns the color class of vertex v, or -1 if v is unassigned.
+func (d *Decomposition) ColorOf(v int) int {
+	ci := d.ClusterOf[v]
+	if ci < 0 {
+		return -1
+	}
+	return d.Clusters[ci].Color
+}
+
+// CenterOf returns the cluster center of vertex v, or -1 if unassigned.
+func (d *Decomposition) CenterOf(v int) int {
+	ci := d.ClusterOf[v]
+	if ci < 0 {
+		return -1
+	}
+	return d.Clusters[ci].Center
+}
+
+// Unassigned returns the vertices that were never clustered, sorted.
+func (d *Decomposition) Unassigned() []int {
+	var out []int
+	for v, ci := range d.ClusterOf {
+		if ci < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MaxClusterSize returns the size of the largest cluster (0 if none).
+func (d *Decomposition) MaxClusterSize() int {
+	max := 0
+	for i := range d.Clusters {
+		if len(d.Clusters[i].Members) > max {
+			max = len(d.Clusters[i].Members)
+		}
+	}
+	return max
+}
+
+// SizeSummary describes the cluster-size distribution of a decomposition.
+type SizeSummary struct {
+	Clusters   int
+	Singletons int
+	Mean       float64
+	Median     int
+	Max        int
+}
+
+// Sizes returns the cluster-size distribution summary.
+func (d *Decomposition) Sizes() SizeSummary {
+	s := SizeSummary{Clusters: len(d.Clusters)}
+	if s.Clusters == 0 {
+		return s
+	}
+	sizes := make([]int, 0, s.Clusters)
+	total := 0
+	for i := range d.Clusters {
+		sz := len(d.Clusters[i].Members)
+		sizes = append(sizes, sz)
+		total += sz
+		if sz == 1 {
+			s.Singletons++
+		}
+		if sz > s.Max {
+			s.Max = sz
+		}
+	}
+	sort.Ints(sizes)
+	s.Median = sizes[len(sizes)/2]
+	s.Mean = float64(total) / float64(s.Clusters)
+	return s
+}
+
+// StrongDiameter computes the maximum strong diameter over all clusters
+// against the given graph. It returns ok=false if any cluster is
+// disconnected in its induced subgraph (infinite strong diameter), which
+// cannot happen for decompositions produced by this package.
+func (d *Decomposition) StrongDiameter(g *graph.Graph) (int, bool) {
+	max := 0
+	for i := range d.Clusters {
+		diam, ok := g.SubsetStrongDiameter(d.Clusters[i].Members)
+		if !ok {
+			return 0, false
+		}
+		if diam > max {
+			max = diam
+		}
+	}
+	return max, true
+}
+
+// WeakDiameter computes the maximum weak diameter over all clusters.
+func (d *Decomposition) WeakDiameter(g *graph.Graph) (int, bool) {
+	max := 0
+	for i := range d.Clusters {
+		diam, ok := g.SubsetWeakDiameter(d.Clusters[i].Members)
+		if !ok {
+			return 0, false
+		}
+		if diam > max {
+			max = diam
+		}
+	}
+	return max, true
+}
+
+// Supergraph returns the cluster supergraph G(P): one vertex per cluster,
+// an edge between two clusters when some original edge joins them.
+// Unassigned vertices are ignored.
+func (d *Decomposition) Supergraph(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(len(d.Clusters))
+	for u := 0; u < g.N(); u++ {
+		cu := d.ClusterOf[u]
+		if cu < 0 {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			cw := d.ClusterOf[w]
+			if cw >= 0 && cu < cw {
+				b.AddEdge(cu, cw)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// String summarizes the decomposition.
+func (d *Decomposition) String() string {
+	return fmt.Sprintf("decomposition{n=%d clusters=%d colors=%d phases=%d/%d rounds=%d complete=%v}",
+		d.N, len(d.Clusters), d.Colors, d.PhasesUsed, d.PhaseBudget, d.Rounds, d.Complete)
+}
+
+// buildClusters turns one phase's block into clusters (connected components
+// of the block's induced subgraph) and appends them to the decomposition,
+// assigning the provided color index. centers[v] holds the center chosen by
+// each joined vertex. It returns the number of clusters appended.
+func (d *Decomposition) buildClusters(g *graph.Graph, joined []int, centers []int, phase, color int) int {
+	comps := g.ComponentsOfSubset(joined)
+	for _, members := range comps {
+		center := centers[members[0]]
+		uniform := true
+		for _, v := range members[1:] {
+			if centers[v] != center {
+				uniform = false
+			}
+		}
+		if !uniform {
+			d.CenterViolations++
+		}
+		ci := len(d.Clusters)
+		d.Clusters = append(d.Clusters, Cluster{
+			Members: members,
+			Center:  center,
+			Phase:   phase,
+			Color:   color,
+		})
+		for _, v := range members {
+			d.ClusterOf[v] = ci
+		}
+	}
+	return len(comps)
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}

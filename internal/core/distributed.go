@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"netdecomp/internal/dist"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// Msg is the CONGEST wire format of the algorithm. A message is either a
+// departure notification ("I joined a cluster, remove me from G_t", one
+// word) or up to two (center, shifted value) entries — the top-two
+// forwarding rule of Section 2 of the paper, two words per entry.
+type Msg struct {
+	// Depart marks a departure notification sent when the sender joins a
+	// cluster at the end of a phase.
+	Depart bool
+	// NumEntries is 1 or 2 for broadcast messages.
+	NumEntries int
+	C1, C2     int32
+	V1, V2     float64
+}
+
+// Words reports the CONGEST size of the message: every entry is a (center,
+// value) pair of two words; departures are a single word. This is the
+// "each message consists of O(1) words" guarantee of Theorems 1–3, checked
+// by experiment T10.
+func (m Msg) Words() int {
+	if m.Depart {
+		return 1
+	}
+	return 2 * m.NumEntries
+}
+
+var _ dist.WordCounter = Msg{}
+
+// program is the per-node state machine of the decomposition algorithm,
+// executed by the internal/dist engine. Every slice is indexed by node;
+// Step(node, ...) touches only index node, so the parallel scheduler needs
+// no extra synchronization.
+type program struct {
+	g         *graph.Graph
+	opts      Options
+	sched     schedule
+	maxPhases int
+	phaseLen  int // k exchange rounds + 1 decision round
+
+	state       []topTwo
+	radius      []float64
+	joinedPhase []int // -1 while unclustered
+	center      []int
+	deadNbr     []map[int32]struct{}
+}
+
+func newProgram(g *graph.Graph, o Options, s schedule) *program {
+	n := g.N()
+	maxPhases := s.budget
+	if o.ForceComplete {
+		maxPhases = 64*s.budget + 1024
+	}
+	p := &program{
+		g:           g,
+		opts:        o,
+		sched:       s,
+		maxPhases:   maxPhases,
+		phaseLen:    s.k + 1,
+		state:       make([]topTwo, n),
+		radius:      make([]float64, n),
+		joinedPhase: make([]int, n),
+		center:      make([]int, n),
+		deadNbr:     make([]map[int32]struct{}, n),
+	}
+	for v := 0; v < n; v++ {
+		p.joinedPhase[v] = -1
+		p.center[v] = none
+		p.deadNbr[v] = make(map[int32]struct{})
+	}
+	return p
+}
+
+// NumNodes implements dist.Program.
+func (p *program) NumNodes() int { return p.g.N() }
+
+// beta returns the exponential rate of the given phase, extending the
+// schedule with its final rate under ForceComplete.
+func (p *program) beta(phase int) float64 {
+	if phase < len(p.sched.betas) {
+		return p.sched.betas[phase]
+	}
+	return p.sched.betas[len(p.sched.betas)-1]
+}
+
+// sendEntries builds the broadcast fan-out of the node's current top-two
+// entries with value ≥ 1 to all live neighbors.
+func (p *program) sendEntries(node int, out []dist.Envelope[Msg]) []dist.Envelope[Msg] {
+	s := &p.state[node]
+	var msg Msg
+	if s.c1 != none && s.v1 >= 1 {
+		msg.C1, msg.V1 = int32(s.c1), s.v1
+		msg.NumEntries = 1
+	}
+	if s.c2 != none && s.v2 >= 1 {
+		if msg.NumEntries == 1 {
+			msg.C2, msg.V2 = int32(s.c2), s.v2
+			msg.NumEntries = 2
+		} else {
+			msg.C1, msg.V1 = int32(s.c2), s.v2
+			msg.NumEntries = 1
+		}
+	}
+	if msg.NumEntries == 0 {
+		return out
+	}
+	for _, w := range p.g.Neighbors(node) {
+		if _, dead := p.deadNbr[node][w]; dead {
+			continue
+		}
+		out = append(out, dist.Envelope[Msg]{From: node, To: int(w), Payload: msg})
+	}
+	return out
+}
+
+// mergeInbox folds received broadcast entries into the node's state,
+// reporting whether anything changed.
+func (p *program) mergeInbox(node int, in []dist.Envelope[Msg]) bool {
+	changed := false
+	for _, env := range in {
+		m := env.Payload
+		if m.Depart {
+			continue
+		}
+		if m.NumEntries >= 1 && p.state[node].merge(int(m.C1), m.V1-1) {
+			changed = true
+		}
+		if m.NumEntries >= 2 && p.state[node].merge(int(m.C2), m.V2-1) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Step implements dist.Program: the synchronized phase schedule described
+// in the package comment. Round r belongs to phase r/(k+1); within a
+// phase, sub-round 0 draws the radius and starts the broadcast, sub-rounds
+// 1..k-1 forward top-two improvements, and sub-round k applies the join
+// rule and emits departures.
+func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelope[Msg], bool) {
+	phase := round / p.phaseLen
+	sub := round % p.phaseLen
+
+	if sub == 0 {
+		// Departures from the previous phase's joiners arrive now.
+		for _, env := range in {
+			if env.Payload.Depart {
+				p.deadNbr[node][int32(env.From)] = struct{}{}
+			}
+		}
+		if phase >= p.maxPhases {
+			// Budget exhausted; give up unclustered.
+			return nil, true
+		}
+		rng := randx.Derive(p.opts.Seed, uint64(phase), uint64(node))
+		p.radius[node] = randx.Exp(rng, p.beta(phase))
+		p.state[node].reset()
+		p.state[node].merge(node, p.radius[node])
+		return p.sendEntries(node, nil), false
+	}
+
+	changed := p.mergeInbox(node, in)
+
+	if sub < p.sched.k {
+		var out []dist.Envelope[Msg]
+		if changed {
+			out = p.sendEntries(node, out)
+		}
+		return out, false
+	}
+
+	// Decision sub-round.
+	if p.state[node].joins() {
+		p.joinedPhase[node] = phase
+		p.center[node] = p.state[node].c1
+		var out []dist.Envelope[Msg]
+		for _, w := range p.g.Neighbors(node) {
+			if _, dead := p.deadNbr[node][w]; dead {
+				continue
+			}
+			out = append(out, dist.Envelope[Msg]{From: node, To: int(w), Payload: Msg{Depart: true}})
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// RunDistributed executes the decomposition as a true message-passing
+// program on the internal/dist engine (sequential or goroutine-parallel
+// per engineOpts) and assembles the resulting Decomposition.
+//
+// For equal Options (including Seed) it produces exactly the same clusters
+// as Run; the integration tests assert this. RadiusExact is not supported
+// here because a node cannot locally know the global maximum radius; use
+// Run for that mode.
+func RunDistributed(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, error) {
+	dec, _, err := RunDistributedWithMetrics(g, o, engineOpts)
+	return dec, err
+}
+
+// RunDistributedWithMetrics is RunDistributed exposing the raw engine
+// metrics as well (including per-round statistics when
+// engineOpts.RecordRounds is set).
+func RunDistributedWithMetrics(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, dist.Metrics, error) {
+	n := g.N()
+	o2, sched, err := resolve(n, o)
+	if err != nil {
+		return nil, dist.Metrics{}, err
+	}
+	if o2.RadiusMode == RadiusExact {
+		return nil, dist.Metrics{}, fmt.Errorf("core: RadiusExact requires global knowledge and is not implementable as a node program; use Run")
+	}
+	if o2.CaptureTrace {
+		return nil, dist.Metrics{}, fmt.Errorf("core: CaptureTrace is only supported by Run")
+	}
+	p := newProgram(g, o2, sched)
+	if engineOpts.MaxRounds == 0 {
+		engineOpts.MaxRounds = (p.maxPhases+1)*p.phaseLen + 4
+	}
+	metrics, err := dist.Run[Msg](p, engineOpts)
+	if err != nil {
+		return nil, metrics, fmt.Errorf("core: distributed execution failed: %w", err)
+	}
+
+	dec := &Decomposition{
+		N:           n,
+		Opts:        o2,
+		K:           sched.k,
+		ClusterOf:   make([]int, n),
+		PhaseBudget: sched.budget,
+		Rounds:      metrics.Rounds,
+		Messages:    metrics.Messages,
+		MsgWords:    metrics.Words,
+		MaxMsgWords: metrics.MaxMessageWords,
+	}
+	for v := range dec.ClusterOf {
+		dec.ClusterOf[v] = -1
+	}
+
+	// Group joiners by phase and rebuild clusters in phase order. A
+	// complete run executes phases up to the last join; an incomplete one
+	// ran the whole budget with the survivors stepping every phase.
+	lastPhase := -1
+	unjoined := 0
+	for v := 0; v < n; v++ {
+		if p.joinedPhase[v] > lastPhase {
+			lastPhase = p.joinedPhase[v]
+		}
+		if p.joinedPhase[v] < 0 {
+			unjoined++
+		}
+	}
+	phasesExecuted := lastPhase + 1
+	if unjoined > 0 && n > 0 {
+		phasesExecuted = p.maxPhases
+	}
+	alive := n
+	for phase := 0; phase < phasesExecuted; phase++ {
+		var joined []int
+		for v := 0; v < n; v++ {
+			if p.joinedPhase[v] == phase {
+				joined = append(joined, v)
+			}
+		}
+		dec.AlivePerPhase = append(dec.AlivePerPhase, alive)
+		if len(joined) > 0 {
+			dec.buildClusters(g, joined, p.center, phase, dec.Colors)
+			dec.Colors++
+			alive -= len(joined)
+		}
+	}
+	dec.AlivePerPhase = append(dec.AlivePerPhase, alive)
+	dec.Complete = unjoined == 0
+	dec.PhasesUsed = phasesExecuted
+	return dec, metrics, nil
+}

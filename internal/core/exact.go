@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+
+	"netdecomp/internal/graph"
+)
+
+// exactTopTwo computes, for every alive vertex, the exact top-two shifted
+// values m = r_v − d_{G_t}(y, v), by running an independent bounded BFS
+// from every alive center. Broadcast reach is min(⌊r_v⌋, maxHops); a
+// negative maxHops means unbounded (RadiusExact semantics).
+//
+// This is the O(Σ ball-size · degree) reference implementation against
+// which the top-two forwarding discipline of phaseRunner.run (and of the
+// message-passing program in distributed.go) is validated: the paper's
+// CONGEST argument says forwarding only the two best values per round
+// loses nothing, and the tests verify that claim computationally.
+func exactTopTwo(g *graph.Graph, alive []bool, radius []float64, maxHops int) []topTwo {
+	n := g.N()
+	states := make([]topTwo, n)
+	for v := range states {
+		states[v].reset()
+	}
+	// Reusable BFS scratch with an epoch stamp.
+	dist := make([]int, n)
+	stamp := make([]int, n)
+	epoch := 0
+	queue := make([]int32, 0, n)
+
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			continue
+		}
+		r := radius[v]
+		reach := int(math.Floor(r))
+		if maxHops >= 0 && reach > maxHops {
+			reach = maxHops
+		}
+		epoch++
+		queue = queue[:0]
+		dist[v] = 0
+		stamp[v] = epoch
+		queue = append(queue, int32(v))
+		states[v].merge(v, r)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			if du >= reach {
+				continue
+			}
+			for _, w := range g.Neighbors(int(u)) {
+				if stamp[w] == epoch || !alive[w] {
+					continue
+				}
+				stamp[w] = epoch
+				dist[w] = du + 1
+				queue = append(queue, w)
+				states[w].merge(v, r-float64(du+1))
+			}
+		}
+	}
+	return states
+}
+
+// exactPhaseJoin applies the join rule to exact top-two states and returns
+// the block members (ascending) and the per-vertex chosen centers.
+func exactPhaseJoin(g *graph.Graph, alive []bool, radius []float64, maxHops int) (joined []int, centers []int) {
+	states := exactTopTwo(g, alive, radius, maxHops)
+	centers = make([]int, g.N())
+	for v := range centers {
+		centers[v] = none
+	}
+	for v := 0; v < g.N(); v++ {
+		if alive[v] && states[v].joins() {
+			joined = append(joined, v)
+			centers[v] = states[v].c1
+		}
+	}
+	return joined, centers
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/randx"
+)
+
+func TestObservation2CenterProximity(t *testing.T) {
+	// Observation 2: if y chose v1 as center at phase t, then
+	// d_{G_t}(v1, y) < r_{v1} − 1. Check it on every cluster member using
+	// the captured trace (exact mode so no truncation interferes).
+	g := gen.GnpConnected(randx.New(80), 180, 0.02)
+	dec, err := Run(g, Options{K: 4, C: 8, Seed: 13, RadiusMode: RadiusExact,
+		ForceComplete: true, CaptureTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range dec.Clusters {
+		alive := dec.Trace.Alive[c.Phase]
+		r := dec.Trace.Radius[c.Phase][c.Center]
+		dist := g.BFSRestricted(c.Center, alive, -1)
+		for _, y := range c.Members {
+			if dist[y] < 0 {
+				t.Fatalf("phase %d: member %d unreachable from center %d in G_t", c.Phase, y, c.Center)
+			}
+			if float64(dist[y]) >= r-1 {
+				t.Fatalf("phase %d: d(center %d, %d) = %d violates Observation 2 (r = %v)",
+					c.Phase, c.Center, y, dist[y], r)
+			}
+		}
+	}
+}
+
+func TestTraceCentersMatchClusters(t *testing.T) {
+	// The per-vertex centers recorded in the trace must agree with the
+	// cluster assignment: every member's traced center at its join phase
+	// is the cluster's center (exact mode — Claim 3 uniformity).
+	g := gen.Grid(12, 12)
+	dec, err := Run(g, Options{K: 3, C: 8, Seed: 7, RadiusMode: RadiusExact,
+		ForceComplete: true, CaptureTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range dec.Clusters {
+		for _, y := range c.Members {
+			if got := dec.Trace.Center[c.Phase][y]; got != c.Center {
+				t.Fatalf("cluster %d: member %d traced center %d, cluster center %d", ci, y, got, c.Center)
+			}
+		}
+	}
+}
+
+func TestTheorem2StageStructure(t *testing.T) {
+	// Section 2.1: stage i lasts ⌈2(cn/eⁱ)^{1/k}⌉ phases at rate
+	// βᵢ = ln(cn/eⁱ)/k. Reconstruct the stages from the resolved schedule
+	// and check lengths and rates.
+	n := 500
+	k := 3
+	c := 8.0
+	_, s, err := resolve(n, Options{Variant: Theorem2, K: k, C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := c * float64(n)
+	idx := 0
+	for i := 0; ; i++ {
+		cnei := cn / math.Exp(float64(i))
+		if cnei <= 1 || idx >= len(s.betas) {
+			break
+		}
+		wantBeta := math.Log(cnei) / float64(k)
+		wantLen := int(math.Ceil(2 * math.Pow(cnei, 1/float64(k))))
+		for j := 0; j < wantLen; j++ {
+			if idx >= len(s.betas) {
+				t.Fatalf("schedule ended mid-stage %d", i)
+			}
+			if math.Abs(s.betas[idx]-wantBeta) > 1e-12 {
+				t.Fatalf("phase %d (stage %d): beta %v, want %v", idx, i, s.betas[idx], wantBeta)
+			}
+			idx++
+		}
+		if i > int(math.Floor(math.Log(float64(n)))) {
+			break
+		}
+	}
+	if idx != len(s.betas) {
+		t.Fatalf("schedule has %d phases, stages account for %d", len(s.betas), idx)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// none marks an empty top-two slot.
+const none = -1
+
+// topTwo is the per-vertex state of the shifted-value broadcast: the two
+// largest values m = r_v − d(y, v) seen so far, with their centers.
+// Ties (which have probability zero for continuous draws) break toward the
+// smaller center id so that every execution order yields the same state.
+type topTwo struct {
+	c1, c2 int
+	v1, v2 float64
+}
+
+// reset empties both slots.
+func (t *topTwo) reset() {
+	t.c1, t.c2 = none, none
+	t.v1, t.v2 = 0, 0
+}
+
+// beats reports whether candidate (c, m) outranks incumbent (ci, vi).
+func beats(m float64, c int, vi float64, ci int) bool {
+	if ci == none {
+		return true
+	}
+	return m > vi || (m == vi && c < ci)
+}
+
+// merge folds the value m for center c into the top-two state and reports
+// whether the state changed. Values for a center already present can only
+// be superseded by larger ones (shorter paths), but the merge is written to
+// be correct under any arrival order.
+func (t *topTwo) merge(c int, m float64) bool {
+	switch c {
+	case t.c1:
+		if m > t.v1 {
+			t.v1 = m
+			return true
+		}
+		return false
+	case t.c2:
+		if m <= t.v2 {
+			return false
+		}
+		t.v2 = m
+		if beats(t.v2, t.c2, t.v1, t.c1) {
+			t.c1, t.c2 = t.c2, t.c1
+			t.v1, t.v2 = t.v2, t.v1
+		}
+		return true
+	}
+	if beats(m, c, t.v1, t.c1) {
+		t.c2, t.v2 = t.c1, t.v1
+		t.c1, t.v1 = c, m
+		return true
+	}
+	if beats(m, c, t.v2, t.c2) {
+		t.c2, t.v2 = c, m
+		return true
+	}
+	return false
+}
+
+// second returns the paper's m₂: the second-largest value, or 0 when only
+// one broadcast reached the vertex ("if s = 1 ... define m₂ = 0").
+func (t *topTwo) second() float64 {
+	if t.c2 == none {
+		return 0
+	}
+	return t.v2
+}
+
+// joins applies the clustering rule: join the block iff m₁ − m₂ > 1.
+func (t *topTwo) joins() bool {
+	return t.c1 != none && t.v1-t.second() > 1
+}
+
+// phaseResult is the outcome of a single phase.
+type phaseResult struct {
+	joined      []int // vertices that joined the block, ascending
+	centers     []int // centers[v] = chosen center for joined v, else -1
+	rounds      int
+	messages    int64
+	words       int64
+	maxMsgWords int
+	truncations int // draws with r_v >= k+1 (events E_v)
+}
+
+// phaseRunner holds reusable scratch for the per-phase simulation so that a
+// multi-phase run performs O(1) allocations per phase.
+type phaseRunner struct {
+	g *graph.Graph
+	n int
+
+	radius  []float64 // exponential draws of the current phase
+	state   []topTwo
+	snap    []topTwo // frozen copy for synchronous-round semantics
+	changed []bool   // state changed last round → must send this round
+	dirty   []bool   // scratch: state changed this round
+	centers []int
+}
+
+// newPhaseRunner allocates scratch for graphs on n vertices.
+func newPhaseRunner(g *graph.Graph) *phaseRunner {
+	n := g.N()
+	return &phaseRunner{
+		g:       g,
+		n:       n,
+		radius:  make([]float64, n),
+		state:   make([]topTwo, n),
+		snap:    make([]topTwo, n),
+		changed: make([]bool, n),
+		dirty:   make([]bool, n),
+		centers: make([]int, n),
+	}
+}
+
+// drawRadii samples r_v ~ Exp(beta) for every alive vertex from its
+// per-vertex, per-phase stream. Dead vertices get 0. The draws are a pure
+// function of (seed, phase, v), which is what makes the centralized
+// simulation, the exact BFS reference and the message-passing execution
+// bit-identical.
+func drawRadii(seed uint64, phase int, alive []bool, beta float64, into []float64) {
+	for v := range into {
+		if alive == nil || alive[v] {
+			rng := randx.Derive(seed, uint64(phase), uint64(v))
+			into[v] = randx.Exp(rng, beta)
+		} else {
+			into[v] = 0
+		}
+	}
+}
+
+// run executes one phase on the surviving graph: the synchronous top-two
+// broadcast for the given number of rounds, then the join rule. alive is
+// not modified. radius must already contain the draws for this phase.
+//
+// Each round, every vertex whose top-two list changed in the previous round
+// sends its (up to two) entries with value ≥ 1 to every alive neighbor;
+// receivers fold the entries in decremented by one (one more hop). This
+// value gating implements exactly the ⌊r_v⌋-ball broadcast: a value
+// arriving at distance d from its center is r_v − d ≥ 0 iff d ≤ ⌊r_v⌋.
+func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
+	var res phaseResult
+	res.rounds = rounds
+
+	for v := 0; v < p.n; v++ {
+		p.state[v].reset()
+		p.changed[v] = false
+		p.dirty[v] = false
+		p.centers[v] = none
+		if alive[v] {
+			p.state[v].merge(v, p.radius[v])
+			p.changed[v] = true
+		}
+	}
+
+	type entry struct {
+		c int
+		m float64
+	}
+	var buf [2]entry
+	for round := 0; round < rounds; round++ {
+		// Freeze the sending state so a value moves one hop per round.
+		copy(p.snap, p.state)
+		sentAny := false
+		for v := 0; v < p.n; v++ {
+			if !alive[v] || !p.changed[v] {
+				continue
+			}
+			s := &p.snap[v]
+			k := 0
+			if s.c1 != none && s.v1 >= 1 {
+				buf[k] = entry{s.c1, s.v1}
+				k++
+			}
+			if s.c2 != none && s.v2 >= 1 {
+				buf[k] = entry{s.c2, s.v2}
+				k++
+			}
+			if k == 0 {
+				continue
+			}
+			words := 2 * k
+			for _, w := range p.g.Neighbors(v) {
+				if !alive[w] {
+					continue
+				}
+				res.messages++
+				res.words += int64(words)
+				if words > res.maxMsgWords {
+					res.maxMsgWords = words
+				}
+				for i := 0; i < k; i++ {
+					if p.state[w].merge(buf[i].c, buf[i].m-1) {
+						p.dirty[w] = true
+					}
+				}
+				sentAny = true
+			}
+		}
+		p.changed, p.dirty = p.dirty, p.changed
+		for v := range p.dirty {
+			p.dirty[v] = false
+		}
+		if !sentAny {
+			// All broadcasts have gone quiet; the remaining rounds would
+			// carry no messages. They still count toward the round budget,
+			// which res.rounds already reflects.
+			break
+		}
+	}
+
+	for v := 0; v < p.n; v++ {
+		if !alive[v] {
+			continue
+		}
+		if p.state[v].joins() {
+			res.joined = append(res.joined, v)
+			p.centers[v] = p.state[v].c1
+		}
+	}
+	res.centers = p.centers
+
+	// Departure notifications: each newly clustered vertex tells its alive
+	// neighbors it is leaving G_t (one word each), which is how survivors
+	// know the next phase's topology.
+	for _, v := range res.joined {
+		for _, w := range p.g.Neighbors(v) {
+			if alive[w] {
+				res.messages++
+				res.words++
+			}
+		}
+	}
+	if res.maxMsgWords == 0 && len(res.joined) > 0 {
+		res.maxMsgWords = 1
+	}
+	return res
+}
+
+// countTruncations counts alive vertices whose draw meets or exceeds k+1 —
+// the events E_v of Lemma 1.
+func countTruncations(alive []bool, radius []float64, k int) int {
+	t := 0
+	for v, r := range radius {
+		if alive[v] && r >= float64(k)+1 {
+			t++
+		}
+	}
+	return t
+}
+
+// maxFlooredRadius returns max_v ⌊r_v⌋ over alive vertices (at least 0),
+// the exact per-phase round requirement of RadiusExact mode.
+func maxFlooredRadius(alive []bool, radius []float64) int {
+	max := 0
+	for v, r := range radius {
+		if alive[v] {
+			if fl := int(math.Floor(r)); fl > max {
+				max = fl
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"netdecomp/internal/graph"
+)
+
+// Run executes the Elkin–Neiman decomposition on g as a faithful
+// round-by-round simulation of the distributed algorithm and returns the
+// resulting decomposition with its cost metrics.
+//
+// The simulation is sequential but message-accurate: per phase it performs
+// the k synchronous rounds of top-two forwarding prescribed by the paper
+// and counts every point-to-point message a real execution would send. Use
+// RunDistributed to execute the identical node program on the
+// internal/dist engine; both return the same clusters for the same
+// Options.Seed.
+func Run(g *graph.Graph, o Options) (*Decomposition, error) {
+	n := g.N()
+	o2, sched, err := resolve(n, o)
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decomposition{
+		N:           n,
+		Opts:        o2,
+		K:           sched.k,
+		ClusterOf:   make([]int, n),
+		PhaseBudget: sched.budget,
+	}
+	for v := range dec.ClusterOf {
+		dec.ClusterOf[v] = -1
+	}
+	if o2.CaptureTrace {
+		dec.Trace = &Trace{}
+	}
+
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	aliveCount := n
+
+	runner := newPhaseRunner(g)
+	// ForceComplete may run past the theorem budget; this guard turns a
+	// (probability ~0) runaway into an error instead of a hang.
+	maxPhases := sched.budget
+	if o2.ForceComplete {
+		maxPhases = 64*sched.budget + 1024
+	}
+
+	for phase := 0; aliveCount > 0; phase++ {
+		if phase >= sched.budget && !o2.ForceComplete {
+			break
+		}
+		if phase >= maxPhases {
+			return nil, fmt.Errorf("core: graph not exhausted after %d phases (n=%d, k=%d); this indicates a bug", phase, n, sched.k)
+		}
+		beta := sched.betas[len(sched.betas)-1]
+		if phase < len(sched.betas) {
+			beta = sched.betas[phase]
+		}
+		dec.AlivePerPhase = append(dec.AlivePerPhase, aliveCount)
+
+		drawRadii(o2.Seed, phase, alive, beta, runner.radius)
+		dec.TruncationEvents += countTruncations(alive, runner.radius, sched.k)
+		rounds := sched.k
+		if o2.RadiusMode == RadiusExact {
+			rounds = maxFlooredRadius(alive, runner.radius)
+		}
+		res := runner.run(alive, rounds)
+
+		dec.Rounds += res.rounds
+		dec.Messages += res.messages
+		dec.MsgWords += res.words
+		if res.maxMsgWords > dec.MaxMsgWords {
+			dec.MaxMsgWords = res.maxMsgWords
+		}
+		if dec.Trace != nil {
+			aliveCopy := make([]bool, n)
+			copy(aliveCopy, alive)
+			radiusCopy := make([]float64, n)
+			copy(radiusCopy, runner.radius)
+			centerCopy := make([]int, n)
+			copy(centerCopy, res.centers)
+			dec.Trace.Alive = append(dec.Trace.Alive, aliveCopy)
+			dec.Trace.Radius = append(dec.Trace.Radius, radiusCopy)
+			dec.Trace.Center = append(dec.Trace.Center, centerCopy)
+			dec.Trace.Beta = append(dec.Trace.Beta, beta)
+		}
+
+		if len(res.joined) > 0 {
+			dec.buildClusters(g, res.joined, res.centers, phase, dec.Colors)
+			dec.Colors++
+			for _, v := range res.joined {
+				alive[v] = false
+			}
+			aliveCount -= len(res.joined)
+		}
+		dec.PhasesUsed++
+	}
+	dec.AlivePerPhase = append(dec.AlivePerPhase, aliveCount)
+	dec.Complete = aliveCount == 0
+	return dec, nil
+}

@@ -1,0 +1,216 @@
+// Package cover builds sparse neighborhood covers from strong-diameter
+// network decompositions — the application behind the paper's remark that
+// "network decompositions are closely related to neighborhood covers,
+// which are used extensively for routing [AP92] and synchronization"
+// (Section 1.1, citing [ABCP92] for the relationship).
+//
+// A W-neighborhood cover is a family of vertex sets ("cover clusters")
+// such that for every vertex v the ball B(v, W) is entirely contained in
+// at least one set. Its quality is measured by its degree (the maximum
+// number of sets containing one vertex) and the maximum diameter of its
+// sets.
+//
+// The classical reduction implemented here: build the power graph
+// H = G^{2W+1}, compute a strong (2k−2, χ) decomposition of H, and expand
+// every cluster by W hops in G. Every ball B(v, W) lies inside the
+// expansion of v's own cluster, and because same-color clusters are at
+// G-distance ≥ 2W+2 apart, their W-expansions stay disjoint — so the cover
+// degree is at most χ.
+package cover
+
+import (
+	"fmt"
+
+	"netdecomp/internal/core"
+	"netdecomp/internal/graph"
+)
+
+// Options configures a cover construction.
+type Options struct {
+	// W is the covered ball radius. W = 0 degenerates to the decomposition
+	// itself.
+	W int
+	// K, C, Seed parameterize the underlying Elkin–Neiman decomposition of
+	// the power graph (Theorem 1 schedule, forced to completion). K
+	// defaults to ⌈ln n⌉, C to 8.
+	K    int
+	C    float64
+	Seed uint64
+}
+
+// Cover is a W-neighborhood cover with its quality measures.
+type Cover struct {
+	// W is the covered radius.
+	W int
+	// Clusters are the cover sets, each sorted ascending.
+	Clusters [][]int
+	// Color is the decomposition color class each set descends from; sets
+	// of equal color are pairwise disjoint.
+	Color []int
+	// Degree is the maximum number of sets containing one vertex (≤ the
+	// decomposition's color count).
+	Degree int
+	// Colors is the color count of the underlying decomposition.
+	Colors int
+	// Rounds is the round cost of the underlying decomposition, scaled by
+	// the 2W+1 slowdown of simulating one power-graph round on G.
+	Rounds int
+}
+
+// Build constructs a W-neighborhood cover of g.
+func Build(g *graph.Graph, o Options) (*Cover, error) {
+	if o.W < 0 {
+		return nil, fmt.Errorf("cover: W must be non-negative, got %d", o.W)
+	}
+	if o.C == 0 {
+		o.C = 8
+	}
+	h, err := power(g, 2*o.W+1)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.Run(h, core.Options{
+		K:             o.K,
+		C:             o.C,
+		Seed:          o.Seed,
+		ForceComplete: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cover: decomposing power graph: %w", err)
+	}
+	c := &Cover{
+		W:        o.W,
+		Clusters: make([][]int, 0, len(dec.Clusters)),
+		Color:    make([]int, 0, len(dec.Clusters)),
+		Colors:   dec.Colors,
+		Rounds:   dec.Rounds * (2*o.W + 1),
+	}
+	count := make([]int, g.N())
+	for i := range dec.Clusters {
+		expanded := expand(g, dec.Clusters[i].Members, o.W)
+		c.Clusters = append(c.Clusters, expanded)
+		c.Color = append(c.Color, dec.Clusters[i].Color)
+		for _, v := range expanded {
+			count[v]++
+			if count[v] > c.Degree {
+				c.Degree = count[v]
+			}
+		}
+	}
+	return c, nil
+}
+
+// power returns G^t: same vertices, an edge between every pair at distance
+// at most t in g. t must be at least 1.
+func power(g *graph.Graph, t int) (*graph.Graph, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("cover: power exponent must be >= 1, got %d", t)
+	}
+	if t == 1 {
+		return g, nil
+	}
+	b := graph.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		dist := g.BFSWithin(v, t)
+		for w, d := range dist {
+			if d > 0 && v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// expand returns the union of W-balls around the members, sorted.
+func expand(g *graph.Graph, members []int, w int) []int {
+	if w == 0 {
+		out := make([]int, len(members))
+		copy(out, members)
+		return out
+	}
+	in := make(map[int]bool, len(members)*4)
+	for _, v := range members {
+		dist := g.BFSWithin(v, w)
+		for u, d := range dist {
+			if d >= 0 {
+				in[u] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(in))
+	for u := range in {
+		out = append(out, u)
+	}
+	insertionSort(out)
+	return out
+}
+
+// insertionSort sorts small slices in place.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Verify checks the covering property — every ball B(v, W) inside some
+// cover set — and returns the maximum strong diameter over the sets. It
+// returns an error describing the first violation found.
+func (c *Cover) Verify(g *graph.Graph) (maxDiameter int, err error) {
+	// Index membership.
+	membership := make([]map[int]bool, len(c.Clusters))
+	for i, set := range c.Clusters {
+		membership[i] = make(map[int]bool, len(set))
+		for _, v := range set {
+			membership[i][v] = true
+		}
+	}
+	// Which sets contain each vertex (candidates for its ball).
+	containing := make([][]int, g.N())
+	for i, set := range c.Clusters {
+		for _, v := range set {
+			containing[v] = append(containing[v], i)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		dist := g.BFSWithin(v, c.W)
+		var ball []int
+		for u, d := range dist {
+			if d >= 0 {
+				ball = append(ball, u)
+			}
+		}
+		found := false
+		for _, ci := range containing[v] {
+			inside := true
+			for _, u := range ball {
+				if !membership[ci][u] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("cover: ball B(%d,%d) not contained in any cover set", v, c.W)
+		}
+	}
+	for i, set := range c.Clusters {
+		d, ok := g.SubsetStrongDiameter(set)
+		if !ok {
+			return 0, fmt.Errorf("cover: set %d disconnected in induced subgraph", i)
+		}
+		if d > maxDiameter {
+			maxDiameter = d
+		}
+	}
+	return maxDiameter, nil
+}

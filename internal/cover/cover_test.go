@@ -1,0 +1,159 @@
+package cover
+
+import (
+	"reflect"
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+func TestCoverValidSmallW(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":  gen.GnpConnected(randx.New(1), 150, 0.02),
+		"grid": gen.Grid(10, 10),
+		"tree": gen.RandomTree(randx.New(2), 120),
+	}
+	for name, g := range graphs {
+		for _, w := range []int{0, 1, 2} {
+			c, err := Build(g, Options{W: w, K: 4, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", name, w, err)
+			}
+			if _, err := c.Verify(g); err != nil {
+				t.Fatalf("%s W=%d: %v", name, w, err)
+			}
+			if c.Degree > c.Colors {
+				t.Fatalf("%s W=%d: degree %d exceeds colors %d", name, w, c.Degree, c.Colors)
+			}
+			if c.Degree < 1 {
+				t.Fatalf("%s W=%d: degree %d", name, w, c.Degree)
+			}
+		}
+	}
+}
+
+func TestCoverBallContainmentExhaustive(t *testing.T) {
+	// On a cycle the balls are intervals; check the containment property
+	// directly against an independent computation.
+	g := gen.Cycle(48)
+	w := 2
+	c, err := Build(g, Options{W: w, K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex appears in at least one set.
+	seen := make([]bool, g.N())
+	for _, set := range c.Clusters {
+		for _, v := range set {
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d in no cover set", v)
+		}
+	}
+}
+
+func TestCoverW0IsDecomposition(t *testing.T) {
+	g := gen.Grid(8, 8)
+	c, err := Build(g, Options{W: 0, K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W=0 cover sets are exactly the decomposition clusters: disjoint
+	// within each color and overall (degree 1).
+	if c.Degree != 1 {
+		t.Fatalf("W=0 cover degree = %d, want 1", c.Degree)
+	}
+	if _, err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverDeterministic(t *testing.T) {
+	g := gen.GnpConnected(randx.New(9), 100, 0.03)
+	a, err := Build(g, Options{W: 1, K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Options{W: 1, K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Clusters, b.Clusters) {
+		t.Fatal("same seed produced different covers")
+	}
+}
+
+func TestCoverSameColorDisjoint(t *testing.T) {
+	// The degree ≤ χ argument rests on same-color expansions staying
+	// disjoint; test it directly.
+	g := gen.GnpConnected(randx.New(12), 120, 0.025)
+	c, err := Build(g, Options{W: 1, K: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byColor := map[int][]int{} // color -> set indices
+	for i, col := range c.Color {
+		byColor[col] = append(byColor[col], i)
+	}
+	for col, idxs := range byColor {
+		seen := make(map[int]int)
+		for _, ci := range idxs {
+			for _, v := range c.Clusters[ci] {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("color %d: vertex %d in sets %d and %d", col, v, prev, ci)
+				}
+				seen[v] = ci
+			}
+		}
+	}
+}
+
+func TestCoverValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Build(g, Options{W: -1}); err == nil {
+		t.Fatal("negative W accepted")
+	}
+}
+
+func TestPowerGraph(t *testing.T) {
+	g := gen.Path(5)
+	h, err := power(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path 0-1-2-3-4 squared: edges between all pairs at distance <= 2.
+	if !h.HasEdge(0, 2) || !h.HasEdge(1, 3) || h.HasEdge(0, 3) {
+		t.Fatalf("power graph wrong: %v", h.Edges())
+	}
+	// t=1 returns the graph itself.
+	h1, err := power(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != g {
+		t.Fatal("power(g,1) should be g")
+	}
+	if _, err := power(g, 0); err == nil {
+		t.Fatal("power exponent 0 accepted")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	g := gen.Path(7)
+	got := expand(g, []int{3}, 2)
+	want := []int{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expand = %v, want %v", got, want)
+	}
+	if got := expand(g, []int{0, 6}, 0); !reflect.DeepEqual(got, []int{0, 6}) {
+		t.Fatalf("expand W=0 = %v", got)
+	}
+}

@@ -1,0 +1,421 @@
+// Package gen provides the graph families used as workloads by the
+// experiment harness: random graphs, meshes, trees, expanders and several
+// adversarial shapes for the decomposition algorithms (long paths, rings of
+// cliques, caterpillars).
+//
+// Every generator is deterministic in its randx seed so that experiments
+// are reproducible and the sequential and parallel schedulers see identical
+// inputs.
+package gen
+
+import (
+	"fmt"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// Gnp returns an Erdős–Rényi random graph G(n, p): each of the n·(n-1)/2
+// possible edges is present independently with probability p.
+//
+// For sparse p it uses geometric skipping, so the cost is proportional to
+// the number of generated edges rather than n².
+func Gnp(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	// Batagelj–Brandes skipping: iterate over the slots (v, w) with w < v
+	// in row-major order, jumping a geometric(1-p) number of slots each
+	// step, so the cost is proportional to the number of edges generated.
+	logq := logOneMinus(p)
+	v, w := 1, -1
+	for v < n {
+		r := rng.Float64Open()
+		w += 1 + int(log(r)/logq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// GnpConnected returns a G(n,p) sample augmented with a uniformly random
+// Hamiltonian-path backbone, guaranteeing connectivity while preserving the
+// random-graph character. Decomposition experiments usually want connected
+// inputs so that "graph exhausted" has a single meaning.
+func GnpConnected(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
+	base := Gnp(rng, n, p)
+	b := graph.NewBuilder(n)
+	for _, e := range base.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(perm[i], perm[i+1])
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n vertices: 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n >= 2 {
+		for i := 0; i < n; i++ {
+			b.AddEdge(i, (i+1)%n)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 2-dimensional mesh.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows×cols 2-dimensional torus (grid with wraparound).
+func Torus(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// CompleteTree returns the complete b-ary tree with the given number of
+// levels (a single root for levels == 1).
+func CompleteTree(arity, levels int) *graph.Graph {
+	if levels < 1 || arity < 1 {
+		return graph.NewBuilder(0).Build()
+	}
+	// Count nodes: 1 + b + b^2 + ... + b^(levels-1).
+	n := 0
+	width := 1
+	for l := 0; l < levels; l++ {
+		n += width
+		width *= arity
+	}
+	bld := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		parent := (v - 1) / arity
+		bld.AddEdge(parent, v)
+	}
+	return bld.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices via a
+// random attachment process (each new vertex attaches to a uniformly
+// random earlier vertex).
+func RandomTree(rng *randx.SplitMix64, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) *graph.Graph {
+	n := 1 << dim
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < dim; d++ {
+			w := v ^ (1 << d)
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with vertex 0 as the hub.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// RandomRegular returns an approximately d-regular graph on n vertices
+// built from d/2 superimposed random perfect matchings on 2 copies
+// (configuration-model style with rejection of self-loops and duplicate
+// edges, so some vertices may fall slightly short of degree d).
+// It requires n > d.
+func RandomRegular(rng *randx.SplitMix64, n, d int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n <= d || d < 1 {
+		return b.Build()
+	}
+	// Union of d random near-perfect matchings of the vertex set: each is a
+	// random permutation paired off. This yields a d-regular-ish expander.
+	for round := 0; round < d; round++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			b.AddEdge(perm[i], perm[i+1])
+		}
+	}
+	return b.Build()
+}
+
+// RingOfCliques returns k cliques of size s arranged in a ring, with one
+// bridge edge between consecutive cliques. This family is adversarial for
+// weak-diameter decompositions: a cluster can pick up vertices of several
+// cliques that are close in G but far (or disconnected) in the induced
+// subgraph.
+func RingOfCliques(k, s int) *graph.Graph {
+	n := k * s
+	b := graph.NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		next := ((c + 1) % k) * s
+		if k > 1 && (k > 2 || c == 0) {
+			b.AddEdge(base+s-1, next)
+		}
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length spine with legs pendant vertices
+// attached to every spine vertex.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine + spine*legs
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(i, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// Barbell returns two cliques of size s joined by a path of length
+// bridgeLen (bridgeLen edges, bridgeLen-1 intermediate vertices).
+func Barbell(s, bridgeLen int) *graph.Graph {
+	inner := bridgeLen - 1
+	if inner < 0 {
+		inner = 0
+	}
+	n := 2*s + inner
+	b := graph.NewBuilder(n)
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(s+inner+i, s+inner+j)
+		}
+	}
+	// Path from vertex s-1 (in clique A) through the bridge to vertex
+	// s+inner (first of clique B).
+	prev := s - 1
+	for i := 0; i < inner; i++ {
+		b.AddEdge(prev, s+i)
+		prev = s + i
+	}
+	if n > s {
+		b.AddEdge(prev, s+inner)
+	}
+	return b.Build()
+}
+
+// WattsStrogatz returns a small-world ring lattice on n vertices where each
+// vertex connects to its k nearest ring neighbors and every edge is
+// rewired to a random endpoint with probability beta.
+func WattsStrogatz(rng *randx.SplitMix64, n, k int, beta float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n < 3 || k < 1 {
+		return b.Build()
+	}
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= half; j++ {
+			w := (v + j) % n
+			if rng.Float64() < beta {
+				w = rng.Intn(n)
+				for w == v {
+					w = rng.Intn(n)
+				}
+			}
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// Family identifies a named workload family for CLI tools and the
+// experiment harness.
+type Family int
+
+// Families supported by Build. Values start at 1 so the zero value is
+// detectably invalid.
+const (
+	FamilyGnp Family = iota + 1
+	FamilyGrid
+	FamilyTorus
+	FamilyTree
+	FamilyPath
+	FamilyCycle
+	FamilyHypercube
+	FamilyRegular
+	FamilyRingOfCliques
+	FamilyCaterpillar
+	FamilySmallWorld
+)
+
+// String returns the canonical CLI name of the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyGnp:
+		return "gnp"
+	case FamilyGrid:
+		return "grid"
+	case FamilyTorus:
+		return "torus"
+	case FamilyTree:
+		return "tree"
+	case FamilyPath:
+		return "path"
+	case FamilyCycle:
+		return "cycle"
+	case FamilyHypercube:
+		return "hypercube"
+	case FamilyRegular:
+		return "regular"
+	case FamilyRingOfCliques:
+		return "ringofcliques"
+	case FamilyCaterpillar:
+		return "caterpillar"
+	case FamilySmallWorld:
+		return "smallworld"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily converts a CLI name into a Family.
+func ParseFamily(s string) (Family, error) {
+	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown graph family %q", s)
+}
+
+// Build constructs a connected graph of about n vertices from the given
+// family, using sensible family-specific shape parameters. It is the
+// one-stop workload constructor used by the harness and CLIs.
+func Build(f Family, n int, seed uint64) (*graph.Graph, error) {
+	rng := randx.New(seed)
+	switch f {
+	case FamilyGnp:
+		// Average degree about 8, plus a backbone for connectivity.
+		p := 8.0 / float64(max(n-1, 1))
+		return GnpConnected(rng, n, p), nil
+	case FamilyGrid:
+		side := intSqrt(n)
+		return Grid(side, side), nil
+	case FamilyTorus:
+		side := intSqrt(n)
+		return Torus(side, side), nil
+	case FamilyTree:
+		return RandomTree(rng, n), nil
+	case FamilyPath:
+		return Path(n), nil
+	case FamilyCycle:
+		return Cycle(n), nil
+	case FamilyHypercube:
+		dim := 0
+		for 1<<(dim+1) <= n {
+			dim++
+		}
+		return Hypercube(dim), nil
+	case FamilyRegular:
+		return RandomRegular(rng, n, 6), nil
+	case FamilyRingOfCliques:
+		s := 8
+		k := max(n/s, 1)
+		return RingOfCliques(k, s), nil
+	case FamilyCaterpillar:
+		legs := 3
+		spine := max(n/(legs+1), 1)
+		return Caterpillar(spine, legs), nil
+	case FamilySmallWorld:
+		return WattsStrogatz(rng, n, 6, 0.1), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown graph family %v", f)
+	}
+}
+
+// intSqrt returns the integer square root of n.
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

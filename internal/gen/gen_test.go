@@ -1,0 +1,289 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"netdecomp/internal/randx"
+)
+
+func TestGnpEdgeCount(t *testing.T) {
+	// Expected edge count is p * n(n-1)/2; check within 5 standard
+	// deviations of the binomial.
+	rng := randx.New(1)
+	n, p := 500, 0.05
+	g := Gnp(rng, n, p)
+	mean := p * float64(n*(n-1)/2)
+	sd := math.Sqrt(mean * (1 - p))
+	if math.Abs(float64(g.M())-mean) > 5*sd {
+		t.Fatalf("G(n,p) edge count %d too far from mean %.0f (sd %.1f)", g.M(), mean, sd)
+	}
+}
+
+func TestGnpEdgeCases(t *testing.T) {
+	rng := randx.New(2)
+	if g := Gnp(rng, 0, 0.5); g.N() != 0 {
+		t.Fatal("empty Gnp wrong")
+	}
+	if g := Gnp(rng, 10, 0); g.M() != 0 {
+		t.Fatal("p=0 should have no edges")
+	}
+	if g := Gnp(rng, 10, 1); g.M() != 45 {
+		t.Fatalf("p=1 should be complete, got m=%d", g.M())
+	}
+	if g := Gnp(rng, 1, 0.9); g.N() != 1 || g.M() != 0 {
+		t.Fatal("single-vertex Gnp wrong")
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(randx.New(7), 200, 0.05)
+	b := Gnp(randx.New(7), 200, 0.05)
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+}
+
+func TestGnpConnected(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := GnpConnected(randx.New(seed), 300, 0.001)
+		if !g.IsConnected() {
+			t.Fatalf("seed %d: GnpConnected produced a disconnected graph", seed)
+		}
+	}
+}
+
+func TestPathShape(t *testing.T) {
+	g := Path(10)
+	if g.N() != 10 || g.M() != 9 {
+		t.Fatalf("path(10): n=%d m=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 9 {
+		t.Fatalf("path diameter = %d", g.Diameter())
+	}
+}
+
+func TestCycleShape(t *testing.T) {
+	g := Cycle(10)
+	if g.M() != 10 || g.MaxDegree() != 2 || g.Diameter() != 5 {
+		t.Fatalf("cycle(10): m=%d maxdeg=%d diam=%d", g.M(), g.MaxDegree(), g.Diameter())
+	}
+	if g := Cycle(1); g.M() != 0 {
+		t.Fatal("cycle(1) should have no edges")
+	}
+	if g := Cycle(2); g.M() != 1 {
+		t.Fatalf("cycle(2) should be a single edge, got m=%d", g.M())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	// Edges: 4*4 horizontal + 3*5 vertical = 31.
+	if g.M() != 31 {
+		t.Fatalf("grid m=%d, want 31", g.M())
+	}
+	if g.Diameter() != 3+4 {
+		t.Fatalf("grid diameter = %d, want 7", g.Diameter())
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	g := Torus(4, 4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("torus: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCompleteTreeShape(t *testing.T) {
+	g := CompleteTree(2, 4) // 1+2+4+8 = 15 vertices
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("tree: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("complete tree disconnected")
+	}
+	if g := CompleteTree(3, 0); g.N() != 0 {
+		t.Fatal("zero-level tree should be empty")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := RandomTree(randx.New(seed), 100)
+		if g.M() != 99 || !g.IsConnected() {
+			t.Fatalf("seed %d: not a tree: m=%d connected=%v", seed, g.M(), g.IsConnected())
+		}
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("hypercube: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("hypercube diameter = %d", g.Diameter())
+	}
+}
+
+func TestCompleteAndStar(t *testing.T) {
+	if g := Complete(6); g.M() != 15 || g.Diameter() != 1 {
+		t.Fatalf("K6 wrong: m=%d", g.M())
+	}
+	g := Star(6)
+	if g.M() != 5 || g.Degree(0) != 5 || g.Diameter() != 2 {
+		t.Fatalf("star wrong: m=%d", g.M())
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	g := RandomRegular(randx.New(3), 100, 6)
+	if !g.IsConnected() {
+		t.Fatal("random regular graph disconnected (possible but should be rare at d=6)")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 6 {
+			t.Fatalf("vertex %d has degree %d > 6", v, g.Degree(v))
+		}
+	}
+	// Average degree should be close to 6 (matchings may collide a little).
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 5 {
+		t.Fatalf("average degree %v too low", avg)
+	}
+}
+
+func TestRingOfCliques(t *testing.T) {
+	g := RingOfCliques(5, 4)
+	if g.N() != 20 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// 5 cliques of 6 edges each + 5 bridges.
+	if g.M() != 5*6+5 {
+		t.Fatalf("m=%d, want 35", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("ring of cliques disconnected")
+	}
+}
+
+func TestRingOfCliquesSmall(t *testing.T) {
+	g := RingOfCliques(1, 4)
+	if g.M() != 6 {
+		t.Fatalf("single clique m=%d", g.M())
+	}
+	g = RingOfCliques(2, 3)
+	if !g.IsConnected() {
+		t.Fatal("two cliques should be bridged")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 2)
+	if g.N() != 15 || g.M() != 14 || !g.IsConnected() {
+		t.Fatalf("caterpillar: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 3)
+	if g.N() != 10 {
+		t.Fatalf("barbell n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("barbell disconnected")
+	}
+	// Two K4s (6 edges each) plus a 3-edge bridge path.
+	if g.M() != 15 {
+		t.Fatalf("barbell m=%d, want 15", g.M())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(randx.New(5), 200, 6, 0.1)
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("small world graph disconnected")
+	}
+}
+
+func TestFamilyRoundTrip(t *testing.T) {
+	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+		parsed, err := ParseFamily(f.String())
+		if err != nil {
+			t.Fatalf("ParseFamily(%q): %v", f.String(), err)
+		}
+		if parsed != f {
+			t.Fatalf("round trip %v -> %v", f, parsed)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestBuildAllFamilies(t *testing.T) {
+	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+		g, err := Build(f, 256, 42)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", f, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("Build(%v) produced empty graph", f)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("Build(%v) produced disconnected graph", f)
+		}
+	}
+}
+
+func TestBuildUnknownFamily(t *testing.T) {
+	if _, err := Build(Family(99), 100, 1); err == nil {
+		t.Fatal("unknown family accepted by Build")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+		a, err := Build(f, 200, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(f, 200, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%v: same seed produced different graphs", f)
+		}
+		ea, eb := a.Edges(), b.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%v: edge lists differ at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestGnpConnectedPreservesGnpEdges(t *testing.T) {
+	// The backbone only adds edges; every Gnp edge for the same rng
+	// prefix must survive the union.
+	rng := randx.New(77)
+	g := GnpConnected(rng, 150, 0.02)
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+	if g.M() < 149 {
+		t.Fatalf("fewer edges than a spanning backbone: %d", g.M())
+	}
+}

@@ -1,0 +1,10 @@
+package gen
+
+import "math"
+
+// log is a local alias so the skipping sampler in Gnp reads like the
+// Batagelj–Brandes pseudocode.
+func log(x float64) float64 { return math.Log(x) }
+
+// logOneMinus returns ln(1-p) computed accurately for small p.
+func logOneMinus(p float64) float64 { return math.Log1p(-p) }

@@ -1,0 +1,138 @@
+package graph
+
+// Unreachable is the distance value reported for vertices that a traversal
+// cannot reach.
+const Unreachable = -1
+
+// BFS returns the vector of hop distances from src in g, with Unreachable
+// (-1) for vertices in other connected components.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	g.bfsInto(src, dist, nil, -1)
+	return dist
+}
+
+// BFSWithin returns hop distances from src, exploring only vertices at
+// distance at most radius. Vertices beyond the radius report Unreachable.
+// A negative radius means unbounded.
+func (g *Graph) BFSWithin(src, radius int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	g.bfsInto(src, dist, nil, radius)
+	return dist
+}
+
+// BFSRestricted returns hop distances from src in the subgraph induced by
+// the vertices with alive[v] == true. src itself must be alive; otherwise
+// every entry is Unreachable. A negative radius means unbounded.
+//
+// This is the traversal the per-phase algorithms use: the "current graph"
+// G_t of Elkin–Neiman is exactly G restricted to the not-yet-clustered
+// vertices.
+func (g *Graph) BFSRestricted(src int, alive []bool, radius int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if alive != nil && !alive[src] {
+		return dist
+	}
+	g.bfsInto(src, dist, alive, radius)
+	return dist
+}
+
+// bfsInto runs BFS from src writing into dist (pre-filled with
+// Unreachable), honoring the optional alive mask and radius bound.
+func (g *Graph) bfsInto(src int, dist []int, alive []bool, radius int) {
+	queue := make([]int32, 0, 64)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if radius >= 0 && du >= radius {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if dist[w] != Unreachable {
+				continue
+			}
+			if alive != nil && !alive[w] {
+				continue
+			}
+			dist[w] = du + 1
+			queue = append(queue, w)
+		}
+	}
+}
+
+// bfsScratch is a reusable BFS workspace that avoids re-allocating and
+// re-initializing the distance vector on every call. The epoch trick marks
+// visited vertices without clearing the array between traversals.
+type bfsScratch struct {
+	dist  []int
+	stamp []int
+	epoch int
+	queue []int32
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{
+		dist:  make([]int, n),
+		stamp: make([]int, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// run performs a BFS from src under the alive mask and radius bound, then
+// returns the scratch distance vector; entries are only valid for vertices
+// v with s.seen(v). The result is invalidated by the next run call.
+func (s *bfsScratch) run(g *Graph, src int, alive []bool, radius int) {
+	s.epoch++
+	s.queue = s.queue[:0]
+	if alive != nil && !alive[src] {
+		return
+	}
+	s.dist[src] = 0
+	s.stamp[src] = s.epoch
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		du := s.dist[u]
+		if radius >= 0 && du >= radius {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if s.stamp[w] == s.epoch {
+				continue
+			}
+			if alive != nil && !alive[w] {
+				continue
+			}
+			s.stamp[w] = s.epoch
+			s.dist[w] = du + 1
+			s.queue = append(s.queue, w)
+		}
+	}
+}
+
+// seen reports whether v was reached by the most recent run.
+func (s *bfsScratch) seen(v int32) bool { return s.stamp[v] == s.epoch }
+
+// Eccentricity returns the maximum distance from v to any vertex reachable
+// from it, restricted to the optional alive mask.
+func (g *Graph) Eccentricity(v int, alive []bool) int {
+	dist := g.BFSRestricted(v, alive, -1)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

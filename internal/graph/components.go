@@ -1,0 +1,105 @@
+package graph
+
+// Components returns, for every vertex, the index of its connected
+// component (components are numbered 0..count-1 in order of their smallest
+// vertex), together with the number of components.
+func (g *Graph) Components() ([]int, int) {
+	return g.ComponentsRestricted(nil)
+}
+
+// ComponentsRestricted computes connected components of the subgraph
+// induced by the alive mask (nil means all vertices). Dead vertices get
+// component index -1.
+func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	queue := make([]int32, 0, 64)
+	for v := 0; v < g.N(); v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		if alive != nil && !alive[v] {
+			continue
+		}
+		comp[v] = count
+		queue = append(queue[:0], int32(v))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.adj[u] {
+				if comp[w] != -1 {
+					continue
+				}
+				if alive != nil && !alive[w] {
+					continue
+				}
+				comp[w] = count
+				queue = append(queue, w)
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// ComponentsOfSubset computes the connected components of the subgraph
+// induced by the given vertex subset (which must not contain duplicates).
+// It returns the components as slices of original vertex ids, each sorted
+// ascending, ordered by their smallest member.
+func (g *Graph) ComponentsOfSubset(subset []int) [][]int {
+	in := make(map[int]bool, len(subset))
+	for _, v := range subset {
+		in[v] = true
+	}
+	visited := make(map[int]bool, len(subset))
+	var comps [][]int
+	queue := make([]int, 0, len(subset))
+	for _, v := range subset {
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		queue = append(queue[:0], v)
+		comp := []int{}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			comp = append(comp, u)
+			for _, w := range g.adj[u] {
+				wi := int(w)
+				if in[wi] && !visited[wi] {
+					visited[wi] = true
+					queue = append(queue, wi)
+				}
+			}
+		}
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// insertionSort sorts small int slices in place; cluster member lists are
+// usually tiny, so this beats sort.Ints on allocation and speed.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and
+// singletons are considered connected).
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, count := g.Components()
+	return count == 1
+}

@@ -1,0 +1,94 @@
+package graph
+
+// Diameter returns the exact diameter of the graph: the maximum distance
+// between any pair of vertices in the same component. It returns 0 for
+// graphs with at most one vertex and ignores pairs in different components
+// (use IsConnected to detect that case). Cost is one BFS per vertex.
+func (g *Graph) Diameter() int {
+	diam := 0
+	s := newBFSScratch(g.N())
+	for v := 0; v < g.N(); v++ {
+		s.run(g, v, nil, -1)
+		for w := 0; w < g.N(); w++ {
+			if s.seen(int32(w)) && s.dist[w] > diam {
+				diam = s.dist[w]
+			}
+		}
+	}
+	return diam
+}
+
+// SubsetStrongDiameter returns the diameter of the subgraph induced by the
+// vertex subset — the "strong diameter" of a cluster in the sense of the
+// paper: distances are measured inside G(C) only. It returns (diameter,
+// true) when the induced subgraph is connected and (0, false) when it is
+// not (a disconnected cluster has infinite strong diameter).
+//
+// Cost is one restricted BFS per member over slice-based scratch, so large
+// clusters (the verification hot path of the scaling experiments) stay
+// allocation-free per BFS.
+func (g *Graph) SubsetStrongDiameter(subset []int) (int, bool) {
+	if len(subset) == 0 {
+		return 0, true
+	}
+	in := make([]bool, g.N())
+	for _, v := range subset {
+		in[v] = true
+	}
+	diam := 0
+	dist := make([]int, g.N())
+	stamp := make([]int, g.N())
+	epoch := 0
+	queue := make([]int32, 0, len(subset))
+	for _, src := range subset {
+		epoch++
+		queue = queue[:0]
+		dist[src] = 0
+		stamp[src] = epoch
+		queue = append(queue, int32(src))
+		reached := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			for _, w := range g.adj[u] {
+				if !in[w] || stamp[w] == epoch {
+					continue
+				}
+				stamp[w] = epoch
+				dist[w] = du + 1
+				queue = append(queue, w)
+				reached++
+				if du+1 > diam {
+					diam = du + 1
+				}
+			}
+		}
+		if reached != len(subset) {
+			return 0, false
+		}
+	}
+	return diam, true
+}
+
+// SubsetWeakDiameter returns the maximum distance in the whole graph G
+// between any two vertices of the subset — the "weak diameter" of a
+// cluster. Pairs that are disconnected in G report ok=false.
+func (g *Graph) SubsetWeakDiameter(subset []int) (int, bool) {
+	if len(subset) <= 1 {
+		return 0, true
+	}
+	diam := 0
+	s := newBFSScratch(g.N())
+	for _, src := range subset {
+		s.run(g, src, nil, -1)
+		for _, w := range subset {
+			if !s.seen(int32(w)) {
+				return 0, false
+			}
+			if s.dist[w] > diam {
+				diam = s.dist[w]
+			}
+		}
+	}
+	return diam, true
+}

@@ -1,0 +1,168 @@
+// Package graph implements the static unweighted undirected graphs on which
+// every algorithm in this repository operates, together with the traversal
+// primitives (breadth-first search, connected components, induced
+// subgraphs, diameters) that the decomposition algorithms and their
+// validators are built from.
+//
+// Graphs are immutable once built: construct them with a Builder or one of
+// the internal/gen generators, then share them freely across goroutines.
+// Vertices are dense integers 0..N()-1, which is also the identifier space
+// the distributed model assumes ("distinct identity numbers from the range
+// {1..n}", Elkin–Neiman Section 1.1, shifted to 0-based here).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph with vertices 0..n-1.
+//
+// The zero value is the empty graph with no vertices. All methods are safe
+// for concurrent use because the structure is never mutated after
+// construction.
+type Graph struct {
+	adj [][]int32 // sorted adjacency lists
+	m   int       // number of undirected edges
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	return i < len(list) && list[i] == int32(v)
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns all edges as pairs {u, v} with u < v, in lexicographic
+// order. The result is freshly allocated on every call.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int32(u) < w {
+				edges = append(edges, [2]int{u, int(w)})
+			}
+		}
+	}
+	return edges
+}
+
+// String summarizes the graph for debugging output.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are silently dropped, so generators can be sloppy.
+//
+// The zero value is not usable; call NewBuilder with the vertex count.
+type Builder struct {
+	n   int
+	adj [][]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices. It panics if n is
+// negative (a caller bug, never a data condition).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: NewBuilder called with negative vertex count")
+	}
+	return &Builder{n: n, adj: make([][]int32, n)}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// It panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+}
+
+// Build finalizes the builder into an immutable Graph, sorting adjacency
+// lists and removing duplicate edges. The builder must not be used after
+// Build.
+func (b *Builder) Build() *Graph {
+	g := &Graph{adj: b.adj}
+	total := 0
+	for v := range g.adj {
+		list := g.adj[v]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		// Deduplicate in place.
+		out := list[:0]
+		for i, w := range list {
+			if i == 0 || w != list[i-1] {
+				out = append(out, w)
+			}
+		}
+		g.adj[v] = out
+		total += len(out)
+	}
+	g.m = total / 2
+	b.adj = nil
+	return g
+}
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Induced returns the subgraph induced by the given vertices, together with
+// the mapping from new vertex index to original vertex id. Duplicate
+// entries in vertices are an error.
+func (g *Graph) Induced(vertices []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range [0,%d)", v, g.N())
+		}
+		if _, dup := idx[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		idx[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && i < j {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), orig, nil
+}

@@ -1,0 +1,163 @@
+// Package randx provides the deterministic random-number machinery used by
+// every randomized algorithm in this repository.
+//
+// The distributed algorithms of Elkin–Neiman (PODC 2016), Linial–Saks and
+// Miller–Peng–Xu all assign an independent random draw to every vertex in
+// every phase. To make runs reproducible (and to make the sequential and the
+// goroutine-parallel schedulers of internal/dist produce bit-identical
+// results), each vertex derives its own stream from a master seed via a
+// mixing function, so the draw for vertex v at phase t never depends on
+// scheduling order.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; JAVA 8's SplittableRandom
+// finalizer), a tiny, fast, well-distributed 64-bit PRNG that is trivially
+// seedable from a hash, which is exactly what per-vertex stream derivation
+// needs. Only the Go standard library is used.
+package randx
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// SplitMix64 is a deterministic 64-bit pseudo random number generator.
+//
+// The zero value is a valid generator seeded with 0; use New to seed it
+// explicitly. SplitMix64 is not safe for concurrent use; derive one
+// generator per goroutine with Derive instead of sharing.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a SplitMix64 generator seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a pseudo-random float64 in the half-open interval [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	// Use the top 53 bits for a uniformly distributed mantissa.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a pseudo-random float64 in the half-open interval
+// (0, 1]. It is the natural argument for -ln(u) style inverse-CDF sampling,
+// where u = 0 would produce +Inf.
+func (s *SplitMix64) Float64Open() float64 {
+	return 1 - s.Float64()
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0, matching
+// the contract of math/rand.Intn.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn called with non-positive n")
+	}
+	// Lemire-style rejection-free modulo reduction would bias for enormous
+	// n; plain rejection sampling keeps the draw exactly uniform.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the integers in p in place.
+func (s *SplitMix64) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Mix hash-combines a seed with a sequence of identifiers (for example
+// vertex index and phase number) into a new seed. It runs each component
+// through the SplitMix64 finalizer so that related inputs (v, v+1, ...)
+// produce unrelated streams.
+func Mix(seed uint64, ids ...uint64) uint64 {
+	h := seed
+	for _, id := range ids {
+		h += golden
+		h ^= id + golden + (h << 6) + (h >> 2)
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
+// Derive returns a fresh generator whose stream is a deterministic function
+// of seed and the given identifiers, independent of any other derived
+// stream. It is the per-vertex/per-phase stream constructor used throughout
+// the algorithms.
+func Derive(seed uint64, ids ...uint64) *SplitMix64 {
+	return New(Mix(seed, ids...))
+}
+
+// Exp samples from the exponential distribution with rate beta, whose
+// density is f(x) = beta * exp(-beta*x) for x >= 0. This is the radius
+// distribution EXP(beta) of Elkin–Neiman (Section 2) and of the
+// Miller–Peng–Xu shifted-shortest-path partition.
+//
+// Exp panics if beta <= 0: a non-positive rate has no valid density and
+// always indicates a caller bug (for instance an out-of-range k in the
+// Theorem 1 parameterization).
+func Exp(rng *SplitMix64, beta float64) float64 {
+	if beta <= 0 {
+		panic("randx: Exp called with non-positive rate beta")
+	}
+	// Inverse CDF: X = -ln(U)/beta with U uniform on (0,1].
+	return -math.Log(rng.Float64Open()) / beta
+}
+
+// TruncGeom samples the truncated geometric radius distribution used by the
+// Linial–Saks decomposition: for 0 <= j <= maxR-1 it returns j with
+// probability (1-p)*p^j, and it returns maxR with the remaining mass p^maxR.
+// Equivalently, it counts Bernoulli(p) successes before the first failure,
+// capped at maxR.
+//
+// TruncGeom panics if p is outside (0,1) or maxR is negative.
+func TruncGeom(rng *SplitMix64, p float64, maxR int) int {
+	if p <= 0 || p >= 1 {
+		panic("randx: TruncGeom requires 0 < p < 1")
+	}
+	if maxR < 0 {
+		panic("randx: TruncGeom requires maxR >= 0")
+	}
+	r := 0
+	for r < maxR && rng.Float64() < p {
+		r++
+	}
+	return r
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *SplitMix64, p float64) bool {
+	return rng.Float64() < p
+}

@@ -1,0 +1,326 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Deterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at draw %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestUint64DifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s SplitMix64
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero-value generator produced two zero draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64Open()
+		if f <= 0 || f > 1 {
+			t.Fatalf("Float64Open() = %v out of (0,1]", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniform draws = %v, want about 0.5", n, mean)
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	s := New(13)
+	const buckets = 10
+	const draws = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		v := s.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn(%d) = %d out of range", buckets, v)
+		}
+		counts[v]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Fatalf("bucket %d has %d draws, want about %d", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(19)
+	p := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("Shuffle produced non-permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixIndependence(t *testing.T) {
+	// Streams derived for adjacent vertex ids must not be correlated in the
+	// crudest sense: their first outputs should all differ.
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < 1000; v++ {
+		x := Derive(99, v, 3).Uint64()
+		if seen[x] {
+			t.Fatalf("derived stream collision at vertex %d", v)
+		}
+		seen[x] = true
+	}
+}
+
+func TestMixOrderMatters(t *testing.T) {
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Fatal("Mix must distinguish identifier order")
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix must distinguish seed from identifier")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(5, 10, 20)
+	b := Derive(5, 10, 20)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Derive is not deterministic")
+		}
+	}
+}
+
+func TestExpMeanAndVariance(t *testing.T) {
+	// Exp(beta) has mean 1/beta and variance 1/beta^2.
+	for _, beta := range []float64{0.25, 1.0, 2.5} {
+		s := New(23)
+		const n = 200000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := Exp(s, beta)
+			if x < 0 {
+				t.Fatalf("Exp draw %v is negative", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-1/beta) > 0.03/beta {
+			t.Errorf("beta=%v: mean=%v, want about %v", beta, mean, 1/beta)
+		}
+		if math.Abs(variance-1/(beta*beta)) > 0.1/(beta*beta) {
+			t.Errorf("beta=%v: variance=%v, want about %v", beta, variance, 1/(beta*beta))
+		}
+	}
+}
+
+func TestExpTailProbability(t *testing.T) {
+	// Pr[X >= x] = exp(-beta x); this memorylessness is exactly what
+	// Lemma 1 of the paper integrates over, so test it directly.
+	beta := 1.5
+	x := 2.0
+	s := New(29)
+	const n = 300000
+	count := 0
+	for i := 0; i < n; i++ {
+		if Exp(s, beta) >= x {
+			count++
+		}
+	}
+	got := float64(count) / n
+	want := math.Exp(-beta * x)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("tail Pr[X>=%v] = %v, want about %v", x, got, want)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp with beta=0 did not panic")
+		}
+	}()
+	Exp(New(1), 0)
+}
+
+func TestTruncGeomDistribution(t *testing.T) {
+	// Pr[r=j] = (1-p) p^j for j < maxR, Pr[r=maxR] = p^maxR.
+	p := 0.5
+	maxR := 4
+	s := New(31)
+	const n = 200000
+	counts := make([]int, maxR+1)
+	for i := 0; i < n; i++ {
+		r := TruncGeom(s, p, maxR)
+		if r < 0 || r > maxR {
+			t.Fatalf("TruncGeom out of range: %d", r)
+		}
+		counts[r]++
+	}
+	for j := 0; j <= maxR; j++ {
+		want := (1 - p) * math.Pow(p, float64(j))
+		if j == maxR {
+			want = math.Pow(p, float64(maxR))
+		}
+		got := float64(counts[j]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pr[r=%d] = %v, want about %v", j, got, want)
+		}
+	}
+}
+
+func TestTruncGeomZeroCap(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 100; i++ {
+		if r := TruncGeom(s, 0.9, 0); r != 0 {
+			t.Fatalf("TruncGeom with maxR=0 returned %d", r)
+		}
+	}
+}
+
+func TestTruncGeomPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TruncGeom with p=%v did not panic", p)
+				}
+			}()
+			TruncGeom(New(1), p, 3)
+		}()
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(41)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(s, 0.3) {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", got)
+	}
+}
+
+// TestQuickMixStability: Mix is a pure function of its arguments.
+func TestQuickMixStability(t *testing.T) {
+	f := func(seed, a, b uint64) bool {
+		return Mix(seed, a, b) == Mix(seed, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntnInRange: Intn stays in range for arbitrary seeds and sizes.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		v := New(seed).Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExpNonNegative: all exponential draws are non-negative and finite.
+func TestQuickExpNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := Exp(New(seed), 1.0)
+		return x >= 0 && !math.IsInf(x, 1) && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = Exp(s, 1.0)
+	}
+}

@@ -1,0 +1,157 @@
+// Package spanner builds sparse skeletons from network decompositions,
+// after the application cited in Section 1.1 of the paper ("Dubhashi et
+// al. [DMP+05] used network decompositions for computing sparse spanners
+// and linear-size skeletons").
+//
+// The construction: keep a BFS tree of every cluster (rooted at its
+// center, inside the cluster's induced subgraph — this is where the
+// *strong* diameter matters: the tree exists and has depth ≤ the cluster
+// radius), plus one original edge for every pair of adjacent clusters.
+// The result has at most n − #clusters + #superedges edges, stays
+// connected whenever the input is, and distances stretch by a factor
+// governed by the cluster diameter.
+package spanner
+
+import (
+	"fmt"
+
+	"netdecomp/internal/core"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// Spanner is a spanning subgraph with its quality measures.
+type Spanner struct {
+	// G is the spanner as a graph on the same vertex set.
+	G *graph.Graph
+	// Edges counts the spanner edges; TreeEdges and BridgeEdges split them
+	// into intra-cluster BFS tree edges and inter-cluster bridges.
+	Edges       int
+	TreeEdges   int
+	BridgeEdges int
+}
+
+// Build constructs the skeleton from a complete decomposition of g.
+func Build(g *graph.Graph, dec *core.Decomposition) (*Spanner, error) {
+	if !dec.Complete {
+		return nil, fmt.Errorf("spanner: decomposition incomplete; run with ForceComplete")
+	}
+	if dec.N != g.N() {
+		return nil, fmt.Errorf("spanner: decomposition is for %d vertices, graph has %d", dec.N, g.N())
+	}
+	b := graph.NewBuilder(g.N())
+	tree := 0
+	// BFS tree of each cluster from its center, restricted to members.
+	inCluster := make([]bool, g.N())
+	for i := range dec.Clusters {
+		c := &dec.Clusters[i]
+		for _, v := range c.Members {
+			inCluster[v] = true
+		}
+		root := c.Center
+		if !inCluster[root] {
+			// Defensive: with truncation events the recorded center can sit
+			// outside the component; fall back to the smallest member.
+			root = c.Members[0]
+		}
+		parent := bfsTree(g, root, inCluster)
+		for _, v := range c.Members {
+			if p := parent[v]; p >= 0 {
+				b.AddEdge(v, p)
+				tree++
+			}
+		}
+		for _, v := range c.Members {
+			inCluster[v] = false
+		}
+	}
+	// One bridge per adjacent cluster pair: the lexicographically smallest
+	// crossing edge, for determinism.
+	type pair struct{ a, b int }
+	bridges := make(map[pair][2]int)
+	for u := 0; u < g.N(); u++ {
+		cu := dec.ClusterOf[u]
+		for _, w := range g.Neighbors(u) {
+			cw := dec.ClusterOf[w]
+			if cu == cw || cu < 0 || cw < 0 {
+				continue
+			}
+			key := pair{cu, cw}
+			if cu > cw {
+				key = pair{cw, cu}
+			}
+			e := [2]int{u, int(w)}
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			if old, ok := bridges[key]; !ok || e[0] < old[0] || (e[0] == old[0] && e[1] < old[1]) {
+				bridges[key] = e
+			}
+		}
+	}
+	for _, e := range bridges {
+		b.AddEdge(e[0], e[1])
+	}
+	sg := b.Build()
+	return &Spanner{
+		G:           sg,
+		Edges:       sg.M(),
+		TreeEdges:   tree,
+		BridgeEdges: sg.M() - tree,
+	}, nil
+}
+
+// bfsTree returns the BFS parent of every vertex reachable from root
+// within the mask (-1 for root and unreached vertices).
+func bfsTree(g *graph.Graph, root int, in []bool) map[int]int {
+	parent := map[int]int{root: -1}
+	queue := []int{root}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range g.Neighbors(u) {
+			wi := int(w)
+			if !in[wi] {
+				continue
+			}
+			if _, seen := parent[wi]; seen {
+				continue
+			}
+			parent[wi] = u
+			queue = append(queue, wi)
+		}
+	}
+	return parent
+}
+
+// StretchSample estimates the spanner's stretch: the maximum and mean of
+// d_spanner(u,v)/d_G(u,v) over `samples` random connected vertex pairs.
+func (s *Spanner) StretchSample(g *graph.Graph, seed uint64, samples int) (max, mean float64, err error) {
+	if g.N() < 2 || samples <= 0 {
+		return 1, 1, nil
+	}
+	rng := randx.New(seed)
+	total := 0.0
+	count := 0
+	for i := 0; i < samples; i++ {
+		u := rng.Intn(g.N())
+		dG := g.BFS(u)
+		dS := s.G.BFS(u)
+		v := rng.Intn(g.N())
+		if v == u || dG[v] <= 0 {
+			continue
+		}
+		if dS[v] < 0 {
+			return 0, 0, fmt.Errorf("spanner: pair (%d,%d) connected in G but not in spanner", u, v)
+		}
+		r := float64(dS[v]) / float64(dG[v])
+		if r > max {
+			max = r
+		}
+		total += r
+		count++
+	}
+	if count == 0 {
+		return 1, 1, nil
+	}
+	return max, total / float64(count), nil
+}

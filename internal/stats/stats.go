@@ -1,0 +1,172 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate repeated randomized runs: summary statistics,
+// quantiles, binomial confidence intervals for success probabilities, and
+// log-log regression for extracting empirical scaling exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual aggregate statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g std=%.3g min=%.3g med=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on the sorted sample. It returns 0 for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilsonCI returns the Wilson score confidence interval for a binomial
+// proportion with successes k out of n trials at the given z (1.96 for
+// 95%). It returns (0, 1) for n == 0.
+func WilsonCI(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// LogLogSlope fits y = a·x^b by least squares on (ln x, ln y) and returns
+// the exponent b. It requires at least two points with positive
+// coordinates and returns an error otherwise. This is how the scaling
+// experiments extract "rounds grow like log² n"-style exponents.
+func LogLogSlope(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 positive points, have %d", len(lx))
+	}
+	return slope(lx, ly)
+}
+
+// Slope fits y = a + b·x by least squares and returns b.
+func Slope(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, have %d", len(xs))
+	}
+	return slope(xs, ys)
+}
+
+func slope(xs, ys []float64) (float64, error) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("stats: degenerate x values")
+	}
+	return (n*sxy - sx*sy) / denom, nil
+}
+
+// GeoMean returns the geometric mean of positive samples; zero and
+// negative entries are ignored. It returns 0 when nothing remains.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	count := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(count))
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netdecomp/internal/randx"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v,%v] should straddle 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("CI too wide: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty CI = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 50, 1.96)
+	if lo != 0 || hi < 0.01 || hi > 0.2 {
+		t.Fatalf("zero-success CI = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(50, 50, 1.96)
+	if hi != 1 || lo > 0.99 || lo < 0.8 {
+		t.Fatalf("all-success CI = [%v,%v]", lo, hi)
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	// y = 3 x^2.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 2.5))
+	}
+	b, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b, 2.5, 1e-9) {
+		t.Fatalf("slope = %v, want 2.5", b)
+	}
+}
+
+func TestLogLogSlopeErrors(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LogLogSlope([]float64{-1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("no positive points accepted")
+	}
+}
+
+func TestSlope(t *testing.T) {
+	b, err := Slope([]float64{0, 1, 2, 3}, []float64{5, 7, 9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b, 2, 1e-12) {
+		t.Fatalf("slope = %v, want 2", b)
+	}
+	if _, err := Slope([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+	if _, err := Slope([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); !almost(g, 10, 1e-9) {
+		t.Fatalf("geomean = %v, want 10", g)
+	}
+	if g := GeoMean([]float64{-5, 0}); g != 0 {
+		t.Fatalf("geomean of nonpositive = %v", g)
+	}
+}
+
+// TestQuickQuantileWithinRange: quantiles always lie within [min, max].
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(seed uint64, qRaw uint8) bool {
+		rng := randx.New(seed)
+		n := rng.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		s := Summarize(xs)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWilsonOrdered: CI bounds are ordered and contain p-hat.
+func TestQuickWilsonOrdered(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonCI(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-9 && p <= hi+1e-9 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+)
+
+func TestBallIntersectionsPath(t *testing.T) {
+	// Path 0..5 split into {0,1,2} and {3,4,5}: radius-1 balls at the
+	// boundary touch both clusters, interior balls touch one.
+	g := gen.Path(6)
+	clusterOf := []int{0, 0, 0, 1, 1, 1}
+	max, mean, err := BallIntersections(g, clusterOf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 2 {
+		t.Fatalf("max = %d, want 2", max)
+	}
+	// Vertices 2 and 3 see two clusters, the other four see one.
+	want := (4*1 + 2*2) / 6.0
+	if mean != want {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+}
+
+func TestBallIntersectionsRadiusZero(t *testing.T) {
+	g := gen.Cycle(8)
+	clusterOf := make([]int, 8)
+	for v := range clusterOf {
+		clusterOf[v] = v % 3
+	}
+	max, mean, err := BallIntersections(g, clusterOf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 1 || mean != 1 {
+		t.Fatalf("radius-0 balls must see exactly their own cluster: max=%d mean=%v", max, mean)
+	}
+}
+
+func TestBallIntersectionsWholeGraph(t *testing.T) {
+	// Radius ≥ diameter: every ball sees every cluster (connected graph).
+	g := gen.Path(5)
+	clusterOf := []int{0, 1, 2, 3, 4}
+	max, mean, err := BallIntersections(g, clusterOf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 5 || mean != 5 {
+		t.Fatalf("whole-graph balls: max=%d mean=%v, want 5", max, mean)
+	}
+}
+
+func TestBallIntersectionsErrors(t *testing.T) {
+	g := gen.Path(3)
+	if _, _, err := BallIntersections(g, []int{0, 0}, 1); err == nil {
+		t.Fatal("short clusterOf accepted")
+	}
+	if _, _, err := BallIntersections(g, []int{0, 0, -1}, 1); err == nil {
+		t.Fatal("unassigned vertex accepted")
+	}
+	if _, _, err := BallIntersections(g, []int{0, 0, 0}, -1); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	if max, mean, err := BallIntersections(empty, nil, 1); err != nil || max != 0 || mean != 0 {
+		t.Fatalf("empty graph: %d %v %v", max, mean, err)
+	}
+}

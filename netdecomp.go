@@ -1,0 +1,239 @@
+// Package netdecomp is the public facade of the repository: a Go
+// implementation of distributed strong-diameter network decomposition
+// after Elkin and Neiman (PODC 2016, arXiv:1602.05437), together with the
+// Linial–Saks and Miller–Peng–Xu baselines, a synchronous CONGEST
+// simulation runtime, symmetry-breaking applications (MIS, (Δ+1)-coloring,
+// maximal matching) and validators.
+//
+// The facade re-exports the stable surface of the internal packages via
+// type aliases, so external callers work entirely through this package:
+//
+//	g := netdecomp.NewGraphBuilder(1000)
+//	... g.AddEdge(u, v) ...
+//	dec, err := netdecomp.Decompose(g.Build(), netdecomp.Options{K: 7, C: 8, Seed: 1})
+//	report := netdecomp.Verify(graph, dec)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture and the experiment index.
+package netdecomp
+
+import (
+	"io"
+
+	"netdecomp/internal/apps"
+	"netdecomp/internal/baseline"
+	"netdecomp/internal/core"
+	"netdecomp/internal/cover"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/graphio"
+	"netdecomp/internal/randx"
+	"netdecomp/internal/spanner"
+	"netdecomp/internal/verify"
+)
+
+// Graph is an immutable simple undirected graph (see internal/graph).
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges into a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// Options configures a decomposition run (see core.Options for the full
+// field documentation).
+type Options = core.Options
+
+// Decomposition is the result of a run, with clusters, colors and CONGEST
+// cost metrics.
+type Decomposition = core.Decomposition
+
+// Cluster is one cluster of a decomposition.
+type Cluster = core.Cluster
+
+// Variant selects the theorem regime.
+type Variant = core.Variant
+
+// The three parameter regimes of the paper.
+const (
+	Theorem1 = core.Theorem1
+	Theorem2 = core.Theorem2
+	Theorem3 = core.Theorem3
+)
+
+// RadiusMode selects truncation semantics.
+type RadiusMode = core.RadiusMode
+
+// Radius modes: RadiusCap is the paper's k-round phases; RadiusExact never
+// truncates broadcasts.
+const (
+	RadiusCap   = core.RadiusCap
+	RadiusExact = core.RadiusExact
+)
+
+// Decompose runs the Elkin–Neiman algorithm on g as a message-accurate
+// sequential simulation.
+func Decompose(g *Graph, o Options) (*Decomposition, error) { return core.Run(g, o) }
+
+// EngineOptions configures the message-passing engine used by
+// DecomposeDistributed.
+type EngineOptions = dist.Options
+
+// DecomposeDistributed runs the identical algorithm as a true node program
+// on the synchronous message-passing engine (optionally on a goroutine
+// pool). It produces the same clusters as Decompose for equal Options.
+func DecomposeDistributed(g *Graph, o Options, e EngineOptions) (*Decomposition, error) {
+	return core.RunDistributed(g, o, e)
+}
+
+// VerifyReport is the validation summary of a decomposition.
+type VerifyReport = verify.Report
+
+// Verify checks a decomposition against its graph: disjoint connected
+// clusters, proper supergraph coloring, and measures diameters. Strong
+// connectivity of clusters is required; completeness is required exactly
+// when the run reported Complete.
+func Verify(g *Graph, dec *Decomposition) *VerifyReport {
+	clusters := make([][]int, len(dec.Clusters))
+	colors := make([]int, len(dec.Clusters))
+	for i := range dec.Clusters {
+		clusters[i] = dec.Clusters[i].Members
+		colors[i] = dec.Clusters[i].Color
+	}
+	return verify.Decomposition(g, clusters, colors, dec.Complete, true)
+}
+
+// Baseline re-exports.
+
+// LSOptions configures the Linial–Saks baseline.
+type LSOptions = baseline.LSOptions
+
+// LSPartition is the Linial–Saks result.
+type LSPartition = baseline.Partition
+
+// LinialSaks runs the weak-diameter decomposition baseline.
+func LinialSaks(g *Graph, o LSOptions) (*LSPartition, error) { return baseline.LinialSaks(g, o) }
+
+// MPXOptions configures the Miller–Peng–Xu partition.
+type MPXOptions = baseline.MPXOptions
+
+// MPXResult is the MPX padded partition.
+type MPXResult = baseline.MPXResult
+
+// MPX runs the shifted-exponential low-diameter partition.
+func MPX(g *Graph, o MPXOptions) (*MPXResult, error) { return baseline.MPX(g, o) }
+
+// BCOptions configures the deterministic sequential ball-carving baseline.
+type BCOptions = baseline.BCOptions
+
+// BallCarving runs the classic deterministic sequential ball-carving
+// decomposition — the existence yardstick the distributed algorithm is
+// measured against.
+func BallCarving(g *Graph, o BCOptions) (*LSPartition, error) { return baseline.BallCarving(g, o) }
+
+// Application re-exports.
+
+// AppInput is a complete clustered view consumed by the applications.
+type AppInput = apps.Input
+
+// AppInputFromDecomposition adapts a complete decomposition for the
+// applications (run Decompose with ForceComplete to guarantee coverage).
+func AppInputFromDecomposition(dec *Decomposition) (AppInput, error) { return apps.FromCore(dec) }
+
+// MISResult is a maximal independent set with distributed cost.
+type MISResult = apps.MISResult
+
+// MIS computes a maximal independent set by the O(D·χ) color-class sweep.
+func MIS(g *Graph, in AppInput) (*MISResult, error) { return apps.MIS(g, in) }
+
+// ColoringResult is a (Δ+1)-coloring with distributed cost.
+type ColoringResult = apps.ColoringResult
+
+// Coloring computes a (Δ+1)-vertex-coloring by the color-class sweep.
+func Coloring(g *Graph, in AppInput) (*ColoringResult, error) { return apps.Coloring(g, in) }
+
+// MatchingResult is a maximal matching with distributed cost.
+type MatchingResult = apps.MatchingResult
+
+// Matching computes a maximal matching by the color-class sweep.
+func Matching(g *Graph, in AppInput) (*MatchingResult, error) { return apps.Matching(g, in) }
+
+// LubyMIS runs Luby's randomized MIS baseline.
+func LubyMIS(g *Graph, seed uint64) (*MISResult, error) { return apps.LubyMIS(g, seed) }
+
+// RandomColoring runs the randomized-trial (Δ+1)-coloring baseline.
+func RandomColoring(g *Graph, seed uint64) (*ColoringResult, error) {
+	return apps.RandomColoring(g, seed)
+}
+
+// Derived structures built on top of the decomposition.
+
+// CoverOptions configures a neighborhood-cover construction.
+type CoverOptions = cover.Options
+
+// Cover is a W-neighborhood cover with quality measures.
+type Cover = cover.Cover
+
+// BuildCover constructs a W-neighborhood cover of g by decomposing the
+// power graph G^{2W+1} and expanding clusters by W hops ([ABCP92]).
+func BuildCover(g *Graph, o CoverOptions) (*Cover, error) { return cover.Build(g, o) }
+
+// Spanner is a sparse skeleton subgraph with quality measures.
+type Spanner = spanner.Spanner
+
+// BuildSpanner constructs the cluster-tree-plus-bridges skeleton from a
+// complete decomposition ([DMP+05]).
+func BuildSpanner(g *Graph, dec *Decomposition) (*Spanner, error) { return spanner.Build(g, dec) }
+
+// Graph interchange.
+
+// WriteGraph emits g in the edge-list interchange format.
+func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+
+// ReadGraph parses an edge-list graph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// MPXDistributed runs the round-based MPX implementation (identical
+// output to MPX; measured rounds and messages).
+func MPXDistributed(g *Graph, o MPXOptions) (*MPXResult, error) {
+	return baseline.MPXDistributed(g, o)
+}
+
+// Generator re-exports: the workload families used by the experiments.
+
+// RNG is the deterministic generator threaded through the graph builders.
+type RNG = randx.SplitMix64
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return randx.New(seed) }
+
+// Gnp returns an Erdős–Rényi G(n, p) sample.
+func Gnp(rng *RNG, n int, p float64) *Graph { return gen.Gnp(rng, n, p) }
+
+// GnpConnected returns a connected G(n, p) sample (random backbone added).
+func GnpConnected(rng *RNG, n int, p float64) *Graph { return gen.GnpConnected(rng, n, p) }
+
+// Grid returns the rows×cols mesh.
+func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// RandomTree returns a random labelled tree on n vertices.
+func RandomTree(rng *RNG, n int) *Graph { return gen.RandomTree(rng, n) }
+
+// RingOfCliques returns k s-cliques arranged in a ring.
+func RingOfCliques(k, s int) *Graph { return gen.RingOfCliques(k, s) }
+
+// Bound helpers re-exported for experiment code.
+
+// TheoremDiameterBound returns the strong-diameter bound for the options.
+func TheoremDiameterBound(n int, o Options) (int, error) { return core.TheoremDiameterBound(n, o) }
+
+// TheoremColorBound returns the color bound for the options.
+func TheoremColorBound(n int, o Options) (float64, error) { return core.TheoremColorBound(n, o) }
+
+// TheoremRoundBound returns the round bound for the options.
+func TheoremRoundBound(n int, o Options) (float64, error) { return core.TheoremRoundBound(n, o) }

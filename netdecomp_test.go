@@ -1,0 +1,117 @@
+package netdecomp_test
+
+import (
+	"testing"
+
+	"netdecomp"
+)
+
+// TestFacadeEndToEnd exercises the whole public surface the way the README
+// quickstart does: build a graph, decompose it, verify it, and run the
+// three applications.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(1), 400, 0.01)
+	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: 5, C: 8, Seed: 7, ForceComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Complete {
+		t.Fatal("ForceComplete run incomplete")
+	}
+	rep := netdecomp.Verify(g, dec)
+	if !rep.Valid() {
+		t.Fatalf("verification failed: %v", rep.Err())
+	}
+	if rep.MaxStrongDiameter > 2*dec.K-2 && dec.TruncationEvents == 0 {
+		t.Fatalf("diameter %d over bound without truncation", rep.MaxStrongDiameter)
+	}
+
+	in, err := netdecomp.AppInputFromDecomposition(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdecomp.MIS(g, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdecomp.Coloring(g, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdecomp.Matching(g, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeDistributed checks the message-passing path through the facade.
+func TestFacadeDistributed(t *testing.T) {
+	g := netdecomp.Grid(12, 12)
+	o := netdecomp.Options{K: 4, C: 8, Seed: 3}
+	a, err := netdecomp.Decompose(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netdecomp.DecomposeDistributed(g, o, netdecomp.EngineOptions{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Colors != b.Colors || len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("facade paths disagree: %v vs %v", a, b)
+	}
+}
+
+// TestFacadeBaselines checks the baseline re-exports.
+func TestFacadeBaselines(t *testing.T) {
+	g := netdecomp.RingOfCliques(8, 6)
+	ls, err := netdecomp.LinialSaks(g, netdecomp.LSOptions{K: 4, Seed: 1, ForceComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Complete {
+		t.Fatal("LS incomplete")
+	}
+	mpx, err := netdecomp.MPX(g, netdecomp.MPXOptions{Beta: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpx.DisconnectedClusters(g) != 0 {
+		t.Fatal("MPX produced disconnected clusters")
+	}
+	if _, err := netdecomp.LubyMIS(g, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeBounds checks the bound helpers.
+func TestFacadeBounds(t *testing.T) {
+	o := netdecomp.Options{K: 4, C: 8}
+	d, err := netdecomp.TheoremDiameterBound(1000, o)
+	if err != nil || d != 6 {
+		t.Fatalf("diameter bound %d err %v", d, err)
+	}
+	if _, err := netdecomp.TheoremColorBound(1000, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdecomp.TheoremRoundBound(1000, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeGraphConstruction checks the builder and edge-list paths.
+func TestFacadeGraphConstruction(t *testing.T) {
+	b := netdecomp.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("builder graph wrong: %v", g)
+	}
+	g2 := netdecomp.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if g2.M() != g.M() {
+		t.Fatal("FromEdges disagrees with builder")
+	}
+	if tr := netdecomp.RandomTree(netdecomp.NewRNG(2), 50); tr.M() != 49 {
+		t.Fatal("RandomTree wrong")
+	}
+	if gp := netdecomp.Gnp(netdecomp.NewRNG(3), 50, 0.1); gp.N() != 50 {
+		t.Fatal("Gnp wrong")
+	}
+}
