@@ -1,0 +1,3 @@
+module netdecomp
+
+go 1.24

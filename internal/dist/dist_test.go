@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// words is a payload whose CONGEST size is its own value.
+type words int
+
+func (w words) Words() int { return int(w) }
+
+// relay is a path program: node 0 emits a token to node 1 in round 0 and
+// halts; node i halts after forwarding the token to node i+1. Each node
+// records the round in which the token reached it.
+type relay struct {
+	n          int
+	receivedAt []int
+}
+
+func newRelay(n int) *relay {
+	r := &relay{n: n, receivedAt: make([]int, n)}
+	for i := range r.receivedAt {
+		r.receivedAt[i] = -1
+	}
+	return r
+}
+
+func (r *relay) NumNodes() int { return r.n }
+
+func (r *relay) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	if node == 0 && round == 0 {
+		r.receivedAt[0] = 0
+		return []Envelope[words]{{From: 0, To: 1, Payload: 1}}, true
+	}
+	if len(in) == 0 {
+		return nil, false
+	}
+	r.receivedAt[node] = round
+	if node == r.n-1 {
+		return nil, true
+	}
+	return []Envelope[words]{{From: node, To: node + 1, Payload: 1}}, true
+}
+
+func TestRelayDoubleBuffering(t *testing.T) {
+	// A message sent in round r must arrive exactly in round r+1: the token
+	// leaves node 0 in round 0 and reaches node i in round i, never earlier.
+	const n = 16
+	for _, o := range []Options{{}, {Parallel: true, Workers: 4}} {
+		p := newRelay(n)
+		m, err := Run[words](p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if p.receivedAt[v] != v {
+				t.Fatalf("parallel=%v: node %d got the token in round %d, want %d", o.Parallel, v, p.receivedAt[v], v)
+			}
+		}
+		if m.Rounds != n {
+			t.Fatalf("parallel=%v: rounds = %d, want %d", o.Parallel, m.Rounds, n)
+		}
+		if m.Messages != n-1 || m.Words != n-1 || m.MaxMessageWords != 1 {
+			t.Fatalf("parallel=%v: metrics %+v, want %d unit messages", o.Parallel, m, n-1)
+		}
+	}
+}
+
+// gossip is a ring program used by the determinism and accounting tests:
+// for rounds rounds, every node sends its (node+round)-dependent payload to
+// both ring neighbors and logs every payload it receives, then halts.
+type gossip struct {
+	n, rounds int
+	log       [][]words // log[v] = payloads received by v, in arrival order
+}
+
+func newGossip(n, rounds int) *gossip {
+	return &gossip{n: n, rounds: rounds, log: make([][]words, n)}
+}
+
+func (g *gossip) NumNodes() int { return g.n }
+
+func (g *gossip) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	if g.log != nil { // the benches disable receipt logging
+		for _, env := range in {
+			g.log[node] = append(g.log[node], env.Payload)
+		}
+	}
+	if round >= g.rounds {
+		return nil, true
+	}
+	pay := words(1 + (node+round)%4)
+	left, right := (node+g.n-1)%g.n, (node+1)%g.n
+	return []Envelope[words]{
+		{From: node, To: left, Payload: pay},
+		{From: node, To: right, Payload: pay},
+	}, false
+}
+
+func TestSchedulersBitIdentical(t *testing.T) {
+	// The parallel scheduler must deliver the same inboxes in the same
+	// order as the sequential one, for every worker count.
+	const n, rounds = 97, 9 // deliberately not a multiple of the chunk size
+	ref := newGossip(n, rounds)
+	refM, err := Run[words](ref, Options{RecordRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 1; workers <= 8; workers++ {
+		g := newGossip(n, rounds)
+		m, err := Run[words](g, Options{Parallel: true, Workers: workers, RecordRounds: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(m, refM) {
+			t.Fatalf("workers=%d: metrics diverged:\n%+v\nwant\n%+v", workers, m, refM)
+		}
+		if !reflect.DeepEqual(g.log, ref.log) {
+			t.Fatalf("workers=%d: delivered message streams diverged", workers)
+		}
+	}
+}
+
+func TestPerRoundStats(t *testing.T) {
+	const n, rounds = 10, 5
+	g := newGossip(n, rounds)
+	m, err := Run[words](g, Options{RecordRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerRound) != m.Rounds {
+		t.Fatalf("PerRound has %d entries, want %d", len(m.PerRound), m.Rounds)
+	}
+	var msgs, wrds int64
+	for i, r := range m.PerRound {
+		if r.Round != i {
+			t.Fatalf("entry %d has round %d", i, r.Round)
+		}
+		if r.Active != n {
+			// Every gossip node steps every round until the common halt.
+			t.Fatalf("round %d: active = %d, want %d", i, r.Active, n)
+		}
+		msgs += r.Messages
+		wrds += r.Words
+	}
+	if msgs != m.Messages || wrds != m.Words {
+		t.Fatalf("per-round sums %d/%d don't match totals %d/%d", msgs, wrds, m.Messages, m.Words)
+	}
+	// Without RecordRounds the breakdown must stay nil.
+	m2, err := Run[words](newGossip(n, rounds), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.PerRound != nil {
+		t.Fatal("PerRound populated without RecordRounds")
+	}
+}
+
+func TestWordAccounting(t *testing.T) {
+	// Payload sizes 1..4 on the gossip ring; MaxMessageWords must be the
+	// observed maximum, and Words the exact sum of payload sizes.
+	g := newGossip(8, 3)
+	m, err := Run[words](g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxMessageWords != 4 {
+		t.Fatalf("MaxMessageWords = %d, want 4", m.MaxMessageWords)
+	}
+	var want int64
+	for _, log := range g.log {
+		for _, w := range log {
+			want += int64(w)
+		}
+	}
+	if m.Words != want {
+		t.Fatalf("Words = %d, want delivered sum %d", m.Words, want)
+	}
+}
+
+// misbehaving emits one malformed envelope from node 0 in round 0.
+type misbehaving struct {
+	n   int
+	env Envelope[words]
+}
+
+func (m *misbehaving) NumNodes() int { return m.n }
+
+func (m *misbehaving) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	if node == 0 {
+		return []Envelope[words]{m.env}, true
+	}
+	return nil, true
+}
+
+func TestMalformedEnvelopesError(t *testing.T) {
+	cases := []struct {
+		name string
+		env  Envelope[words]
+		want string
+	}{
+		{"to-too-large", Envelope[words]{From: 0, To: 5, Payload: 1}, "out-of-range"},
+		{"to-negative", Envelope[words]{From: 0, To: -1, Payload: 1}, "out-of-range"},
+		{"forged-from", Envelope[words]{From: 3, To: 1, Payload: 1}, "forged"},
+	}
+	for _, tc := range cases {
+		for _, parallel := range []bool{false, true} {
+			_, err := Run[words](&misbehaving{n: 4, env: tc.env}, Options{Parallel: parallel})
+			if err == nil {
+				t.Fatalf("%s (parallel=%v): malformed envelope accepted", tc.name, parallel)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s (parallel=%v): error %q does not mention %q", tc.name, parallel, err, tc.want)
+			}
+		}
+	}
+}
+
+// stubborn never halts and never sends.
+type stubborn struct{ n int }
+
+func (s stubborn) NumNodes() int { return s.n }
+
+func (s stubborn) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	return nil, false
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	m, err := Run[words](stubborn{n: 3}, Options{MaxRounds: 20})
+	if err == nil {
+		t.Fatal("non-terminating program ran forever past MaxRounds")
+	}
+	if m.Rounds != 20 {
+		t.Fatalf("aborted after %d rounds, want 20", m.Rounds)
+	}
+}
+
+// halter is a 2-node program: node 1 halts immediately; node 0 sends to
+// node 1 in round 0 (delivered after the halt) and halts in round 1,
+// recording whatever it was stepped with.
+type halter struct {
+	delivered [][]Envelope[words]
+}
+
+func (h *halter) NumNodes() int { return 2 }
+
+func (h *halter) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	cp := make([]Envelope[words], len(in))
+	copy(cp, in)
+	h.delivered = append(h.delivered, cp)
+	if node == 1 {
+		return nil, true
+	}
+	if round == 0 {
+		return []Envelope[words]{{From: 0, To: 1, Payload: 2}}, false
+	}
+	return nil, true
+}
+
+func TestMessageToHaltedNodeCountedButDropped(t *testing.T) {
+	h := &halter{}
+	m, err := Run[words](h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sender pays for the message even though the receiver is gone.
+	if m.Messages != 1 || m.Words != 2 {
+		t.Fatalf("metrics %+v, want the dropped message accounted", m)
+	}
+	// Steps: round 0 node 0, round 0 node 1, round 1 node 0 — and none of
+	// them may observe the in-flight message addressed to the halted node.
+	if len(h.delivered) != 3 {
+		t.Fatalf("%d steps executed, want 3", len(h.delivered))
+	}
+	for i, in := range h.delivered {
+		if len(in) != 0 {
+			t.Fatalf("step %d observed %d messages, want none", i, len(in))
+		}
+	}
+	if m.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", m.Rounds)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	m, err := Run[words](stubborn{n: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 0 || m.Messages != 0 {
+		t.Fatalf("empty program produced metrics %+v", m)
+	}
+}

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunk is the unit of work the parallel scheduler hands to a worker: a
+// contiguous block of node ids. Chunking amortizes the atomic fetch-add
+// across many Step calls while still balancing skewed per-node work.
+const chunk = 64
+
+// engine is the per-run state shared by both schedulers.
+type engine[M WordCounter] struct {
+	p Program[M]
+	o Options
+	n int
+
+	halted []bool
+	live   int
+
+	// cur[v] is v's inbox for the round being executed; nxt[v] collects
+	// the messages to deliver next round. The two swap every round, so a
+	// Step only ever sees messages sent in the previous round.
+	cur, nxt [][]Envelope[M]
+
+	// outs[v] is the outbox Step returned for v this round, committed to
+	// nxt in ascending node order so both schedulers route identically.
+	outs  [][]Envelope[M]
+	halts []bool
+
+	metrics Metrics
+}
+
+// Run executes the program until every node has halted and returns the
+// CONGEST metrics of the execution. It returns a non-nil error (with the
+// metrics accumulated so far) if the program emits a malformed envelope or
+// exceeds Options.MaxRounds.
+func Run[M WordCounter](p Program[M], o Options) (Metrics, error) {
+	n := p.NumNodes()
+	if n < 0 {
+		return Metrics{}, fmt.Errorf("dist: program reports %d nodes", n)
+	}
+	e := &engine[M]{
+		p:      p,
+		o:      o,
+		n:      n,
+		halted: make([]bool, n),
+		live:   n,
+		cur:    make([][]Envelope[M], n),
+		nxt:    make([][]Envelope[M], n),
+		outs:   make([][]Envelope[M], n),
+		halts:  make([]bool, n),
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	for round := 0; e.live > 0; round++ {
+		if o.MaxRounds > 0 && round >= o.MaxRounds {
+			return e.metrics, fmt.Errorf("dist: %d of %d nodes still live after the %d-round limit", e.live, n, o.MaxRounds)
+		}
+		active := e.live
+		if o.Parallel && workers > 1 {
+			e.stepParallel(round, workers)
+		} else {
+			e.stepSequential(round)
+		}
+		if err := e.commit(round, active); err != nil {
+			return e.metrics, err
+		}
+	}
+	return e.metrics, nil
+}
+
+// stepSequential runs every live node's Step for the round in node order.
+func (e *engine[M]) stepSequential(round int) {
+	for v := 0; v < e.n; v++ {
+		if e.halted[v] {
+			continue
+		}
+		e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur[v])
+	}
+}
+
+// stepParallel runs the round's Steps on a goroutine pool. Workers claim
+// contiguous chunks of node ids off a shared counter; every result lands
+// in the stepping node's own slot, so the subsequent ordered commit is
+// independent of which worker ran which node — the source of the
+// bit-identical contract with the sequential scheduler.
+func (e *engine[M]) stepParallel(round, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= e.n {
+					return
+				}
+				hi := lo + chunk
+				if hi > e.n {
+					hi = e.n
+				}
+				for v := lo; v < hi; v++ {
+					if e.halted[v] {
+						continue
+					}
+					e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur[v])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// commit validates and routes the round's outboxes in ascending node
+// order, applies halts, accounts the metrics, and swaps the mailbox
+// buffers for the next round.
+func (e *engine[M]) commit(round, active int) error {
+	var msgs, words int64
+	for v := 0; v < e.n; v++ {
+		if e.halted[v] {
+			continue
+		}
+		for _, env := range e.outs[v] {
+			if env.To < 0 || env.To >= e.n {
+				return fmt.Errorf("dist: node %d sent a message to out-of-range node %d in round %d (n=%d)", v, env.To, round, e.n)
+			}
+			if env.From != v {
+				return fmt.Errorf("dist: node %d sent a message with forged sender %d in round %d", v, env.From, round)
+			}
+			w := env.Payload.Words()
+			msgs++
+			words += int64(w)
+			if w > e.metrics.MaxMessageWords {
+				e.metrics.MaxMessageWords = w
+			}
+			// Delivery to an already-halted node is counted (the sender
+			// paid for it) but dropped: nothing will step to read it.
+			e.nxt[env.To] = append(e.nxt[env.To], env)
+		}
+		e.outs[v] = nil
+		if e.halts[v] {
+			e.halted[v] = true
+			e.halts[v] = false
+			e.live--
+		}
+	}
+	e.metrics.Rounds++
+	e.metrics.Messages += msgs
+	e.metrics.Words += words
+	if e.o.RecordRounds {
+		e.metrics.PerRound = append(e.metrics.PerRound, RoundStats{
+			Round:    round,
+			Messages: msgs,
+			Words:    words,
+			Active:   active,
+		})
+	}
+	// Swap mailboxes; the delivered round's inboxes become next round's
+	// (emptied) collection buffers.
+	for v := range e.cur {
+		e.cur[v] = e.cur[v][:0]
+	}
+	e.cur, e.nxt = e.nxt, e.cur
+	return nil
+}
