@@ -1,28 +1,31 @@
-// Command netdecomp runs one strong-diameter network decomposition on a
-// generated graph, verifies it, and prints the measured parameters next to
-// the theorem bounds.
-//
-// Examples:
-//
-//	netdecomp -family gnp -n 4096 -k 8
-//	netdecomp -family grid -n 1024 -variant t3 -lambda 3
-//	netdecomp -family gnp -n 1024 -distributed -parallel
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"netdecomp/internal/core"
-	"netdecomp/internal/dist"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/graphio"
-	"netdecomp/internal/verify"
+	"netdecomp/internal/stats"
 )
 
+// Command netdecomp runs one network decomposition on a generated graph,
+// verifies it, and prints the measured parameters next to the theorem
+// bounds. Any algorithm in the unified registry can drive it.
+//
+// Examples:
+//
+//	netdecomp -family gnp -n 4096 -k 8
+//	netdecomp -family grid -n 1024 -variant t3 -lambda 3
+//	netdecomp -family gnp -n 1024 -distributed -parallel
+//	netdecomp -family gnp -n 1024 -algo linial-saks
+//	netdecomp -family grid -n 900 -algo mpx/dist -beta 0.4
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netdecomp:", err)
@@ -32,13 +35,15 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("netdecomp", flag.ContinueOnError)
+	algo := fs.String("algo", "elkin-neiman", "registry algorithm (elkin-neiman, linial-saks, mpx, mpx/dist, ball-carving, ...)")
 	family := fs.String("family", "gnp", "graph family (gnp, grid, torus, tree, path, cycle, hypercube, regular, ringofcliques, caterpillar, smallworld)")
 	input := fs.String("input", "", "read the graph from an edge-list file instead of generating one")
 	n := fs.Int("n", 1024, "approximate number of vertices")
-	k := fs.Int("k", 0, "radius parameter (0 = ceil(ln n))")
+	k := fs.Int("k", 0, "radius parameter (0 = algorithm default)")
 	lambda := fs.Int("lambda", 2, "color budget for -variant t3")
 	c := fs.Float64("c", 8, "confidence parameter (failure probability <= 3/c)")
-	variantName := fs.String("variant", "t1", "theorem variant: t1, t2 or t3")
+	beta := fs.Float64("beta", 0, "MPX exponential rate (0 = default 0.3)")
+	variantName := fs.String("variant", "t1", "theorem variant for elkin-neiman: t1, t2 or t3")
 	seed := fs.Uint64("seed", 1, "random seed")
 	mode := fs.String("mode", "cap", "radius mode: cap (paper) or exact")
 	force := fs.Bool("force", false, "keep carving past the budget until complete")
@@ -75,70 +80,103 @@ func run(args []string, w io.Writer) error {
 		}
 		source = fam.String()
 	}
+
+	// The Elkin–Neiman variants live under per-theorem registry names.
+	name := *algo
 	variant, err := core.ParseVariant(*variantName)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{
-		Variant:       variant,
-		K:             *k,
-		Lambda:        *lambda,
-		C:             *c,
-		Seed:          *seed,
-		ForceComplete: *force,
+	if name == "elkin-neiman" {
+		name = "elkin-neiman/" + variant.String()
+	}
+	d, err := decomp.Get(name)
+	if err != nil {
+		return err
+	}
+
+	opts := []decomp.Option{
+		decomp.WithK(*k),
+		decomp.WithLambda(*lambda),
+		decomp.WithC(*c),
+		decomp.WithBeta(*beta),
+		decomp.WithSeed(*seed),
 	}
 	switch *mode {
 	case "cap":
-		opts.RadiusMode = core.RadiusCap
 	case "exact":
-		opts.RadiusMode = core.RadiusExact
+		opts = append(opts, decomp.WithExactRadius())
 	default:
 		return fmt.Errorf("unknown -mode %q (want cap or exact)", *mode)
 	}
-
-	var dec *core.Decomposition
-	if *distributed {
-		dec, err = core.RunDistributed(g, opts, dist.Options{Parallel: *parallel})
-	} else {
-		dec, err = core.Run(g, opts)
+	if *force {
+		opts = append(opts, decomp.WithForceComplete())
 	}
+	if *distributed {
+		opts = append(opts, decomp.WithScheduler(*parallel, 0))
+	}
+
+	p, err := d.Decompose(context.Background(), g, opts...)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(w, "graph    : %s (%s)\n", g, source)
-	fmt.Fprintf(w, "options  : variant=%s k=%d c=%v seed=%d mode=%s\n",
-		dec.Opts.Variant, dec.K, dec.Opts.C, dec.Opts.Seed, dec.Opts.RadiusMode)
-	fmt.Fprintf(w, "result   : %s\n", dec)
+	fmt.Fprintf(w, "options  : algo=%s k=%s c=%v seed=%d mode=%s\n",
+		name, orAuto(*k), *c, *seed, *mode)
+	fmt.Fprintf(w, "result   : %s\n", p)
 	fmt.Fprintf(w, "cost     : rounds=%d messages=%d words=%d maxMsgWords=%d\n",
-		dec.Rounds, dec.Messages, dec.MsgWords, dec.MaxMsgWords)
-	fmt.Fprintf(w, "events   : truncations=%d centerViolations=%d\n",
-		dec.TruncationEvents, dec.CenterViolations)
-	sizes := dec.Sizes()
-	fmt.Fprintf(w, "clusters : %d total, %d singletons, mean %.1f, median %d, max %d\n",
-		sizes.Clusters, sizes.Singletons, sizes.Mean, sizes.Median, sizes.Max)
+		p.Metrics.Rounds, p.Metrics.Messages, p.Metrics.Words, p.Metrics.MaxMessageWords)
+	printSizes(w, p)
 
-	clusters := make([][]int, len(dec.Clusters))
-	colors := make([]int, len(dec.Clusters))
-	for i := range dec.Clusters {
-		clusters[i] = dec.Clusters[i].Members
-		colors[i] = dec.Clusters[i].Color
-	}
-	rep := verify.Decomposition(g, clusters, colors, dec.Complete, true)
+	rep := p.Verify(g)
 	fmt.Fprintf(w, "verify   : valid=%v strongDiam=%d weakDiam=%d colors=%d coverage=%.3f\n",
 		rep.Valid(), rep.MaxStrongDiameter, rep.MaxWeakDiameter, rep.Colors, rep.Coverage)
-	if dBound, err := core.TheoremDiameterBound(g.N(), opts); err == nil {
-		fmt.Fprintf(w, "bounds   : diameter<=%d", dBound)
-		if cBound, err := core.TheoremColorBound(g.N(), opts); err == nil {
-			fmt.Fprintf(w, " colors<=%.1f", cBound)
+
+	// The theorem bounds apply to the Elkin–Neiman regimes.
+	if *algo == "elkin-neiman" {
+		coreOpts := core.Options{Variant: variant, K: *k, Lambda: *lambda, C: *c, Seed: *seed}
+		if dBound, err := core.TheoremDiameterBound(g.N(), coreOpts); err == nil {
+			fmt.Fprintf(w, "bounds   : diameter<=%d", dBound)
+			if cBound, err := core.TheoremColorBound(g.N(), coreOpts); err == nil {
+				fmt.Fprintf(w, " colors<=%.1f", cBound)
+			}
+			if rBound, err := core.TheoremRoundBound(g.N(), coreOpts); err == nil {
+				fmt.Fprintf(w, " rounds<=%.0f", rBound)
+			}
+			fmt.Fprintln(w)
 		}
-		if rBound, err := core.TheoremRoundBound(g.N(), opts); err == nil {
-			fmt.Fprintf(w, " rounds<=%.0f", rBound)
-		}
-		fmt.Fprintln(w)
 	}
 	if !rep.Valid() {
 		return rep.Err()
 	}
 	return nil
+}
+
+// orAuto renders a zero-valued parameter as its "algorithm default" form.
+func orAuto(v int) string {
+	if v == 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// printSizes summarizes the cluster-size distribution.
+func printSizes(w io.Writer, p *decomp.Partition) {
+	if len(p.Clusters) == 0 {
+		fmt.Fprintf(w, "clusters : 0 total\n")
+		return
+	}
+	sizes := make([]float64, 0, len(p.Clusters))
+	singletons := 0
+	for i := range p.Clusters {
+		sz := len(p.Clusters[i].Members)
+		sizes = append(sizes, float64(sz))
+		if sz == 1 {
+			singletons++
+		}
+	}
+	s := stats.Summarize(sizes)
+	fmt.Fprintf(w, "clusters : %d total, %d singletons, mean %.1f, median %.0f, max %.0f\n",
+		len(sizes), singletons, s.Mean, s.Median, s.Max)
 }

@@ -28,6 +28,10 @@ func TestRunVariants(t *testing.T) {
 		{"-family", "tree", "-n", "128", "-mode", "exact", "-force"},
 		{"-family", "cycle", "-n", "64", "-distributed"},
 		{"-family", "cycle", "-n", "64", "-distributed", "-parallel"},
+		{"-family", "gnp", "-n", "128", "-algo", "linial-saks", "-force"},
+		{"-family", "gnp", "-n", "128", "-algo", "mpx"},
+		{"-family", "grid", "-n", "100", "-algo", "mpx/dist", "-beta", "0.4"},
+		{"-family", "grid", "-n", "100", "-algo", "ball-carving", "-k", "4"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -63,6 +67,8 @@ func TestRunErrors(t *testing.T) {
 		{"-input", "/nonexistent/file"},
 		{"-c", "1"},
 		{"-distributed", "-mode", "exact"},
+		{"-algo", "no-such-algorithm"},
+		{"-algo", "mpx", "-beta", "7"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -27,7 +28,7 @@ func main() {
 	opts := core.Options{K: k, C: 8, Seed: 21}
 
 	// Run the node program on the parallel scheduler with per-round stats.
-	p, metrics, err := core.RunDistributedWithMetrics(g, opts, dist.Options{
+	p, metrics, err := core.RunDistributedWithMetrics(context.Background(), g, opts, dist.Options{
 		Parallel:     true,
 		RecordRounds: true,
 	})

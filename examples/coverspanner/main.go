@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +20,9 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d\n\n", g.N(), g.M())
 
 	// --- Neighborhood covers for W = 1, 2 ---
+	// The power-graph decomposition underneath can come from any
+	// registered algorithm (CoverOptions.Algorithm); the default is
+	// elkin-neiman.
 	for _, w := range []int{1, 2} {
 		c, err := netdecomp.BuildCover(g, netdecomp.CoverOptions{W: w, K: 4, Seed: 5})
 		if err != nil {
@@ -34,11 +38,13 @@ func main() {
 
 	// --- Skeleton spanner ---
 	k := int(math.Ceil(math.Log(float64(g.N()))))
-	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: k, C: 8, Seed: 5, ForceComplete: true})
+	p, err := netdecomp.MustGet("elkin-neiman").Decompose(context.Background(), g,
+		netdecomp.WithK(k), netdecomp.WithC(8), netdecomp.WithSeed(5),
+		netdecomp.WithForceComplete())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp, err := netdecomp.BuildSpanner(g, dec)
+	sp, err := netdecomp.BuildSpannerFrom(g, p)
 	if err != nil {
 		log.Fatal(err)
 	}

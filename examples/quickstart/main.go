@@ -1,9 +1,11 @@
-// Quickstart: build a random graph, compute a strong (O(log n), O(log n))
-// network decomposition, verify it against the paper's bounds, and print a
-// summary. This is the minimal end-to-end use of the public API.
+// Quickstart: build a random graph, pick an algorithm from the unified
+// registry, compute a strong (O(log n), O(log n)) network decomposition,
+// verify it against the paper's bounds, and print a summary. This is the
+// minimal end-to-end use of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -16,28 +18,35 @@ func main() {
 	g := netdecomp.GnpConnected(netdecomp.NewRNG(42), 2048, 0.004)
 	fmt.Printf("input graph: n=%d m=%d maxDeg=%d\n", g.N(), g.M(), g.MaxDegree())
 
+	// Every algorithm is one registry lookup away; see
+	// netdecomp.Algorithms() for the full list.
+	d, err := netdecomp.Get("elkin-neiman")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The headline configuration: k = ceil(ln n) gives strong diameter
 	// O(log n), O(log n) colors, O(log^2 n) rounds (Theorem 1).
 	k := int(math.Ceil(math.Log(float64(g.N()))))
-	dec, err := netdecomp.Decompose(g, netdecomp.Options{
-		K:    k,
-		C:    8, // failure probability at most 3/8
-		Seed: 7,
-	})
+	p, err := d.Decompose(context.Background(), g,
+		netdecomp.WithK(k),
+		netdecomp.WithC(8), // failure probability at most 3/8
+		netdecomp.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("decomposition: %d clusters, %d colors, %d phases (budget %d)\n",
-		len(dec.Clusters), dec.Colors, dec.PhasesUsed, dec.PhaseBudget)
+		len(p.Clusters), p.Colors, p.PhasesUsed, p.PhaseBudget)
 	fmt.Printf("distributed cost: %d rounds, %d messages, largest message %d words\n",
-		dec.Rounds, dec.Messages, dec.MaxMsgWords)
+		p.Metrics.Rounds, p.Metrics.Messages, p.Metrics.MaxMessageWords)
 	fmt.Printf("complete: %v (theorem guarantees this w.p. >= 1 - 3/c = %.3f)\n",
-		dec.Complete, 1-3/dec.Opts.C)
+		p.Complete, 1-3.0/8)
 
 	// Verify every invariant: disjoint connected clusters, proper
 	// supergraph coloring, and measure the diameters.
-	rep := netdecomp.Verify(g, dec)
+	rep := netdecomp.VerifyPartition(g, p)
 	if !rep.Valid() {
 		log.Fatalf("verification failed: %v", rep.Err())
 	}
@@ -46,12 +55,12 @@ func main() {
 
 	// The largest cluster, for a feel of the output.
 	big := 0
-	for i := range dec.Clusters {
-		if len(dec.Clusters[i].Members) > len(dec.Clusters[big].Members) {
+	for i := range p.Clusters {
+		if len(p.Clusters[i].Members) > len(p.Clusters[big].Members) {
 			big = i
 		}
 	}
-	c := dec.Clusters[big]
+	c := p.Clusters[big]
 	fmt.Printf("largest cluster: %d vertices, center %d, carved at phase %d, color %d\n",
 		len(c.Members), c.Center, c.Phase, c.Color)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -25,18 +26,21 @@ func main() {
 	// Applications need a total partition, so force completion (the
 	// probability any extra phases are needed is at most 1/c).
 	k := int(math.Ceil(math.Log(float64(g.N()))))
-	dec, err := netdecomp.Decompose(g, netdecomp.Options{K: k, C: 8, Seed: 11, ForceComplete: true})
+	p, err := netdecomp.MustGet("elkin-neiman").Decompose(context.Background(), g,
+		netdecomp.WithK(k), netdecomp.WithC(8), netdecomp.WithSeed(11),
+		netdecomp.WithForceComplete())
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := netdecomp.Verify(g, dec)
+	rep := netdecomp.VerifyPartition(g, p)
 	if !rep.Valid() {
 		log.Fatalf("bad decomposition: %v", rep.Err())
 	}
 	fmt.Printf("decomposition: D=%d chi=%d (D*chi=%d), built in %d rounds\n",
-		rep.MaxStrongDiameter, dec.Colors, rep.MaxStrongDiameter*dec.Colors, dec.Rounds)
+		rep.MaxStrongDiameter, p.Colors, rep.MaxStrongDiameter*p.Colors, p.Metrics.Rounds)
 
-	in, err := netdecomp.AppInputFromDecomposition(dec)
+	// Any registered algorithm's Partition feeds the same applications.
+	in, err := netdecomp.AppInputFromPartition(g, p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,12 +16,13 @@ import (
 	"sort"
 
 	"netdecomp/internal/core"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
 )
 
 // Input is a complete clustered view of a graph: member lists with a
 // per-cluster color forming a proper supergraph coloring. Build one with
-// FromCore or construct it directly from baseline results.
+// FromPartition (any registered algorithm's output) or FromCore.
 type Input struct {
 	// Clusters holds the member lists (each sorted ascending).
 	Clusters [][]int
@@ -31,6 +32,9 @@ type Input struct {
 
 // FromCore adapts a core.Decomposition (which must be complete — run with
 // ForceComplete to guarantee that) into an application input.
+//
+// Deprecated: use FromPartition with decomp.FromCore, which also accepts
+// the other registered algorithms' results.
 func FromCore(dec *core.Decomposition) (Input, error) {
 	if !dec.Complete {
 		return Input{}, fmt.Errorf("apps: decomposition incomplete (%d vertices unassigned); run with ForceComplete", len(dec.Unassigned()))
@@ -44,6 +48,64 @@ func FromCore(dec *core.Decomposition) (Input, error) {
 		in.Colors[i] = dec.Clusters[i].Color
 	}
 	return in, nil
+}
+
+// FromPartition adapts any complete unified Partition into an application
+// input, so MIS, coloring and matching run on every registered algorithm's
+// output.
+//
+// The color-class sweep requires a proper supergraph coloring. Partitions
+// that do not carry one (MPX, whose single color class is shared by
+// adjacent clusters) are recolored greedily: clusters are first-fit
+// colored against their supergraph neighbors in creation order — a
+// sequential O(m) preprocessing step standing in for the O(Δ_P log n)
+// distributed supergraph coloring a fully local execution would run. The
+// sweep then costs O(D·χ') for the resulting χ'.
+func FromPartition(g *graph.Graph, p *decomp.Partition) (Input, error) {
+	if !p.Complete {
+		return Input{}, fmt.Errorf("apps: partition incomplete (%d vertices unassigned); decompose with WithForceComplete", len(p.Unassigned()))
+	}
+	in := Input{
+		Clusters: p.MemberLists(),
+		Colors:   p.ClusterColors(),
+	}
+	if !p.ProperColors {
+		in.Colors = greedySupergraphColors(g, p)
+	}
+	return in, nil
+}
+
+// greedySupergraphColors first-fit colors the cluster supergraph in
+// cluster creation order, yielding a proper per-cluster coloring for
+// partitions that lack one.
+func greedySupergraphColors(g *graph.Graph, p *decomp.Partition) []int {
+	sg := p.Supergraph(g)
+	colors := make([]int, sg.N())
+	for ci := range colors {
+		colors[ci] = -1
+	}
+	used := make([]bool, sg.N()+1)
+	for ci := 0; ci < sg.N(); ci++ {
+		for _, nb := range sg.Neighbors(ci) {
+			if c := colors[nb]; c >= 0 {
+				used[c] = true
+			}
+		}
+		for c := 0; ; c++ {
+			if !used[c] {
+				colors[ci] = c
+				break
+			}
+		}
+		// Un-mark only what was set, keeping the pass linear in
+		// supergraph edges.
+		for _, nb := range sg.Neighbors(ci) {
+			if c := colors[nb]; c >= 0 {
+				used[c] = false
+			}
+		}
+	}
+	return colors
 }
 
 // plan is the color-ordered processing schedule shared by the solvers,

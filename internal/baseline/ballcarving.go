@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,15 @@ type BCOptions struct {
 // reported as 0 and it serves purely as the quality yardstick in the
 // comparison experiments.
 func BallCarving(g *graph.Graph, o BCOptions) (*Partition, error) {
+	return BallCarvingContext(context.Background(), g, o)
+}
+
+// BallCarvingContext is BallCarving with cancellation: ctx is checked
+// between phases and the run returns ctx.Err() when cancelled.
+func BallCarvingContext(ctx context.Context, g *graph.Graph, o BCOptions) (*Partition, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N()
 	if o.K < 1 {
 		return nil, fmt.Errorf("baseline: BallCarving requires K >= 1, got %d", o.K)
@@ -61,6 +71,9 @@ func BallCarving(g *graph.Graph, o BCOptions) (*Partition, error) {
 	for phase := 0; remaining > 0; phase++ {
 		if phase >= maxPhases {
 			return nil, fmt.Errorf("baseline: BallCarving did not terminate after %d phases", phase)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// working[v]: v is available to this phase (alive and not deferred
 		// by an earlier ball of this phase).

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,15 @@ type LSOptions struct {
 // messages count each broadcast forwarded over each edge of its ball once,
 // which is the LS93 accounting of broadcast cost.
 func LinialSaks(g *graph.Graph, o LSOptions) (*Partition, error) {
+	return LinialSaksContext(context.Background(), g, o)
+}
+
+// LinialSaksContext is LinialSaks with cancellation: ctx is checked
+// between phases and the run returns ctx.Err() when cancelled.
+func LinialSaksContext(ctx context.Context, g *graph.Graph, o LSOptions) (*Partition, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N()
 	if o.K < 2 {
 		return nil, fmt.Errorf("baseline: LinialSaks requires K >= 2, got %d", o.K)
@@ -95,6 +105,9 @@ func LinialSaks(g *graph.Graph, o LSOptions) (*Partition, error) {
 		}
 		if phase >= maxPhases {
 			return nil, fmt.Errorf("baseline: LinialSaks did not exhaust the graph after %d phases", phase)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// Draw radii.
 		maxR := 0

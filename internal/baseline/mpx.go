@@ -2,7 +2,7 @@ package baseline
 
 import (
 	"container/heap"
-	"fmt"
+	"context"
 	"math"
 
 	"netdecomp/internal/graph"
@@ -39,8 +39,20 @@ type MPXResult struct {
 // Dijkstra; rounds are counted as ⌈max δ⌉ (the depth of the equivalent
 // distributed broadcast) and messages as one per edge traversal.
 func MPX(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+	return MPXContext(context.Background(), g, o)
+}
+
+// MPXContext is MPX with cancellation: the single Dijkstra pass checks ctx
+// once up front (the pass itself runs in milliseconds even on large
+// graphs, so a finer granularity buys nothing).
+func MPXContext(ctx context.Context, g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if o.Beta <= 0 || o.Beta > 1 {
-		return nil, fmt.Errorf("baseline: MPX requires 0 < Beta <= 1, got %v", o.Beta)
+		return nil, errBeta(o.Beta)
 	}
 	n := g.N()
 	res := &MPXResult{

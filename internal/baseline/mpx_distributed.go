@@ -1,8 +1,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
 )
@@ -12,20 +15,109 @@ func errBeta(beta float64) error {
 	return fmt.Errorf("baseline: MPX requires 0 < Beta <= 1, got %v", beta)
 }
 
-// MPXDistributed computes the same Miller–Peng–Xu partition as MPX, but as
-// a synchronous round simulation: every vertex starts with its own shifted
-// value δ_y and repeatedly forwards its current best (center, value) pair
-// decremented by one hop, keeping only the maximum — top-1 forwarding,
-// which is lossless for a partition because only the winner matters (the
-// same argument that makes the paper's top-2 rule lossless for the
-// decomposition's two-value comparison).
+// MPXMsg is the CONGEST wire format of the round-based MPX broadcast: one
+// (center, shifted value) pair — top-1 forwarding, which is lossless for a
+// partition because only the winner matters (the same argument that makes
+// the paper's top-2 rule lossless for the decomposition's two-value
+// comparison).
+type MPXMsg struct {
+	Center int32
+	Value  float64
+}
+
+// Words reports the CONGEST size: a (center, value) pair of two words.
+func (m MPXMsg) Words() int { return 2 }
+
+var _ dist.WordCounter = MPXMsg{}
+
+// mpxProgram is the per-node state machine of the MPX broadcast, executed
+// by the internal/dist engine. Every slice is indexed by node; Step(node,
+// ...) touches only index node, so the parallel scheduler is safe.
 //
-// It runs until no message improves any state, counts the rounds and
-// messages it used, and must agree with MPX exactly on every cluster for
-// the same options; the tests assert that.
+// Each node starts with its own shifted value δ_v and repeatedly forwards
+// its current best (center, value) pair decremented by one hop, keeping
+// only the maximum (ties toward the smaller center id). All waves die out
+// after lastRound = max_v ⌊δ_v⌋ rounds — a value must be ≥ 1 to be
+// forwarded, so the broadcast from v travels at most ⌊δ_v⌋ hops — and the
+// nodes halt there. lastRound is global knowledge distributed to every
+// node up front, standing in for the O(log n / β)-round max-aggregation a
+// fully local execution would prepend.
+type mpxProgram struct {
+	g         *graph.Graph
+	lastRound int
+
+	winner  []int
+	value   []float64
+	changed []bool
+}
+
+func newMPXProgram(g *graph.Graph, delta []float64) *mpxProgram {
+	n := g.N()
+	p := &mpxProgram{
+		g:       g,
+		winner:  make([]int, n),
+		value:   make([]float64, n),
+		changed: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		p.winner[v] = v
+		p.value[v] = delta[v]
+		p.changed[v] = true
+		if fl := int(math.Floor(delta[v])); fl > p.lastRound {
+			p.lastRound = fl
+		}
+	}
+	return p
+}
+
+// NumNodes implements dist.Program.
+func (p *mpxProgram) NumNodes() int { return p.g.N() }
+
+// Step implements dist.Program: merge the neighbors' decremented offers,
+// then forward the node's best pair if it improved and can still travel.
+func (p *mpxProgram) Step(node, round int, in []dist.Envelope[MPXMsg]) ([]dist.Envelope[MPXMsg], bool) {
+	if round > 0 {
+		ch := false
+		for _, env := range in {
+			m := env.Payload
+			c := int(m.Center)
+			if m.Value > p.value[node] || (m.Value == p.value[node] && c < p.winner[node]) {
+				p.value[node] = m.Value
+				p.winner[node] = c
+				ch = true
+			}
+		}
+		p.changed[node] = ch
+	}
+	halt := round >= p.lastRound
+	if !p.changed[node] || p.value[node] < 1 {
+		return nil, halt
+	}
+	msg := MPXMsg{Center: int32(p.winner[node]), Value: p.value[node] - 1}
+	var out []dist.Envelope[MPXMsg]
+	for _, w := range p.g.Neighbors(node) {
+		out = append(out, dist.Envelope[MPXMsg]{From: node, To: int(w), Payload: msg})
+	}
+	return out, halt
+}
+
+// MPXDistributed computes the same Miller–Peng–Xu partition as MPX, but as
+// a true node program on the internal/dist message-passing engine, so its
+// rounds, messages and words come from real engine accounting. It must
+// agree with MPX exactly on every cluster for the same options; the tests
+// assert that.
 func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+	res, _, err := MPXOnEngine(context.Background(), g, o, dist.Options{})
+	return res, err
+}
+
+// MPXOnEngine is MPXDistributed with full control over the execution: the
+// engine options select the scheduler and per-round observation, ctx
+// cancels between rounds, and the raw engine metrics are returned
+// alongside the partition.
+func MPXOnEngine(ctx context.Context, g *graph.Graph, o MPXOptions, engineOpts dist.Options) (*MPXResult, dist.Metrics, error) {
 	if o.Beta <= 0 || o.Beta > 1 {
-		return nil, errBeta(o.Beta)
+		return nil, dist.Metrics{}, errBeta(o.Beta)
 	}
 	n := g.N()
 	res := &MPXResult{
@@ -37,57 +129,28 @@ func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
 	}
 	if n == 0 {
 		res.Complete = true
-		return res, nil
+		return res, dist.Metrics{}, nil
 	}
 	for v := 0; v < n; v++ {
 		rng := randx.Derive(o.Seed, uint64(v))
 		res.Delta[v] = randx.Exp(rng, o.Beta)
 	}
 
-	winner := make([]int, n)
-	value := make([]float64, n)
-	changed := make([]bool, n)
-	dirty := make([]bool, n)
-	for v := 0; v < n; v++ {
-		winner[v] = v
-		value[v] = res.Delta[v]
-		changed[v] = true
+	p := newMPXProgram(g, res.Delta)
+	if engineOpts.MaxRounds == 0 {
+		engineOpts.MaxRounds = p.lastRound + 2
 	}
-	snapWinner := make([]int, n)
-	snapValue := make([]float64, n)
-	for {
-		copy(snapWinner, winner)
-		copy(snapValue, value)
-		sent := false
-		for v := 0; v < n; v++ {
-			if !changed[v] || snapValue[v] < 1 {
-				continue
-			}
-			m := snapValue[v] - 1
-			c := snapWinner[v]
-			for _, w := range g.Neighbors(v) {
-				res.Messages++
-				sent = true
-				if m > value[w] || (m == value[w] && c < winner[w]) {
-					value[w] = m
-					winner[w] = c
-					dirty[w] = true
-				}
-			}
+	metrics, err := dist.Run[MPXMsg](ctx, p, engineOpts)
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, metrics, ctx.Err()
 		}
-		changed, dirty = dirty, changed
-		for v := range dirty {
-			dirty[v] = false
-		}
-		if !sent {
-			break
-		}
-		res.Rounds++
+		return nil, metrics, fmt.Errorf("baseline: MPX engine execution failed: %w", err)
 	}
 
 	byCenter := make(map[int][]int, n/4+1)
 	for y := 0; y < n; y++ {
-		byCenter[winner[y]] = append(byCenter[winner[y]], y)
+		byCenter[p.winner[y]] = append(byCenter[p.winner[y]], y)
 	}
 	centers := make([]int, 0, len(byCenter))
 	for c := range byCenter {
@@ -101,14 +164,16 @@ func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
 	res.PhasesUsed = 1
 	res.PhaseBudget = 1
 	res.Complete = true
+	res.Rounds = metrics.Rounds
+	res.Messages = metrics.Messages
 
 	for _, e := range g.Edges() {
-		if winner[e[0]] != winner[e[1]] {
+		if p.winner[e[0]] != p.winner[e[1]] {
 			res.CutEdges++
 		}
 	}
 	if g.M() > 0 {
 		res.CutFraction = float64(res.CutEdges) / float64(g.M())
 	}
-	return res, nil
+	return res, metrics, nil
 }

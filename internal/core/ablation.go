@@ -55,7 +55,7 @@ func TopKForwardingAblation(g *graph.Graph, seed uint64, beta float64, k, keep i
 	if keep == 2 {
 		runner := newPhaseRunner(g)
 		copy(runner.radius, radius)
-		res := runner.run(alive, k)
+		res := runner.run(alive, k, nil)
 		joined, centers = res.joined, res.centers
 	} else {
 		joined, centers = runTopOnePhase(g, alive, radius, k)

@@ -204,7 +204,7 @@ func TestTopTwoForwardingMatchesExactBFS(t *testing.T) {
 		for _, beta := range []float64{0.4, 0.9, 1.7} {
 			for _, k := range []int{2, 4, 7} {
 				drawRadii(uint64(gi*31+k), 0, alive, beta, runner.radius)
-				res := runner.run(alive, k)
+				res := runner.run(alive, k, nil)
 				wantJoined, wantCenters := exactPhaseJoin(g, alive, runner.radius, k)
 				if !reflect.DeepEqual(res.joined, wantJoined) {
 					t.Fatalf("graph %d beta %v k %d: joined sets differ (%d vs %d)", gi, beta, k, len(res.joined), len(wantJoined))
@@ -467,7 +467,7 @@ func TestJoinProbabilityLowerBound(t *testing.T) {
 	trials := 0
 	for seed := uint64(0); seed < 30; seed++ {
 		drawRadii(seed, 0, alive, beta, runner.radius)
-		res := runner.run(alive, k)
+		res := runner.run(alive, k, nil)
 		joins += len(res.joined)
 		trials += g.N()
 	}

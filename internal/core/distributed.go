@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"netdecomp/internal/dist"
@@ -202,14 +203,19 @@ func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelop
 // here because a node cannot locally know the global maximum radius; use
 // Run for that mode.
 func RunDistributed(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, error) {
-	dec, _, err := RunDistributedWithMetrics(g, o, engineOpts)
+	dec, _, err := RunDistributedWithMetrics(context.Background(), g, o, engineOpts)
 	return dec, err
 }
 
 // RunDistributedWithMetrics is RunDistributed exposing the raw engine
 // metrics as well (including per-round statistics when
-// engineOpts.RecordRounds is set).
-func RunDistributedWithMetrics(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, dist.Metrics, error) {
+// engineOpts.RecordRounds is set). Cancellation via ctx stops the engine
+// at the next round barrier and returns ctx.Err(); per-round observation
+// is available through engineOpts.Observer.
+func RunDistributedWithMetrics(ctx context.Context, g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, dist.Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N()
 	o2, sched, err := resolve(n, o)
 	if err != nil {
@@ -225,8 +231,11 @@ func RunDistributedWithMetrics(g *graph.Graph, o Options, engineOpts dist.Option
 	if engineOpts.MaxRounds == 0 {
 		engineOpts.MaxRounds = (p.maxPhases+1)*p.phaseLen + 4
 	}
-	metrics, err := dist.Run[Msg](p, engineOpts)
+	metrics, err := dist.Run[Msg](ctx, p, engineOpts)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, metrics, ctx.Err()
+		}
 		return nil, metrics, fmt.Errorf("core: distributed execution failed: %w", err)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -52,7 +53,7 @@ func (p badProgram) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envel
 }
 
 func TestEngineRejectsOutOfRangeMessages(t *testing.T) {
-	if _, err := dist.Run[Msg](badProgram{n: 5}, dist.Options{}); err == nil {
+	if _, err := dist.Run[Msg](context.Background(), badProgram{n: 5}, dist.Options{}); err == nil {
 		t.Fatal("engine accepted a message to an out-of-range node")
 	}
 }

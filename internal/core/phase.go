@@ -147,7 +147,13 @@ func drawRadii(seed uint64, phase int, alive []bool, beta float64, into []float6
 // receivers fold the entries in decremented by one (one more hop). This
 // value gating implements exactly the ⌊r_v⌋-ball broadcast: a value
 // arriving at distance d from its center is r_v − d ≥ 0 iff d ≤ ⌊r_v⌋.
-func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
+//
+// When emit is non-nil it is called once per budgeted broadcast round with
+// that round's message/word traffic (zeros for rounds after the broadcast
+// went quiet), and one final time for the phase's decision round carrying
+// the departure notifications — mirroring the k+1 sub-round structure of
+// the engine execution.
+func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)) phaseResult {
 	var res phaseResult
 	res.rounds = rounds
 
@@ -167,10 +173,12 @@ func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
 		m float64
 	}
 	var buf [2]entry
+	emitted := 0
 	for round := 0; round < rounds; round++ {
 		// Freeze the sending state so a value moves one hop per round.
 		copy(p.snap, p.state)
 		sentAny := false
+		roundMsgs, roundWords := res.messages, res.words
 		for v := 0; v < p.n; v++ {
 			if !alive[v] || !p.changed[v] {
 				continue
@@ -210,11 +218,20 @@ func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
 		for v := range p.dirty {
 			p.dirty[v] = false
 		}
+		if emit != nil {
+			emit(res.messages-roundMsgs, res.words-roundWords)
+			emitted++
+		}
 		if !sentAny {
 			// All broadcasts have gone quiet; the remaining rounds would
 			// carry no messages. They still count toward the round budget,
 			// which res.rounds already reflects.
 			break
+		}
+	}
+	if emit != nil {
+		for ; emitted < rounds; emitted++ {
+			emit(0, 0)
 		}
 	}
 
@@ -232,6 +249,7 @@ func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
 	// Departure notifications: each newly clustered vertex tells its alive
 	// neighbors it is leaving G_t (one word each), which is how survivors
 	// know the next phase's topology.
+	departMsgs, departWords := res.messages, res.words
 	for _, v := range res.joined {
 		for _, w := range p.g.Neighbors(v) {
 			if alive[w] {
@@ -242,6 +260,11 @@ func (p *phaseRunner) run(alive []bool, rounds int) phaseResult {
 	}
 	if res.maxMsgWords == 0 && len(res.joined) > 0 {
 		res.maxMsgWords = 1
+	}
+	if emit != nil {
+		// The decision round of the phase (sub-round k of the engine
+		// execution): only departures travel.
+		emit(res.messages-departMsgs, res.words-departWords)
 	}
 	return res
 }

@@ -1,10 +1,37 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
 )
+
+// Exec bundles the execution-context concerns of a run — cancellation and
+// round observation — kept separate from Options so Options stays pure,
+// comparable algorithm configuration. The zero value means "no
+// cancellation, no observer".
+type Exec struct {
+	// Ctx cancels the run between phases (sequential simulation) or
+	// between rounds (engine execution); the run then returns Ctx.Err().
+	// nil means context.Background().
+	Ctx context.Context
+	// Observer, when non-nil, streams per-round traffic statistics as the
+	// run executes: one callback per budgeted broadcast round plus one per
+	// phase decision round, with Round indices increasing monotonically
+	// across phases — the same k+1 sub-round structure the engine path
+	// reports through dist.Options.Observer.
+	Observer func(dist.RoundStats)
+}
+
+// ctx returns the effective context.
+func (x Exec) ctx() context.Context {
+	if x.Ctx == nil {
+		return context.Background()
+	}
+	return x.Ctx
+}
 
 // Run executes the Elkin–Neiman decomposition on g as a faithful
 // round-by-round simulation of the distributed algorithm and returns the
@@ -17,11 +44,20 @@ import (
 // internal/dist engine; both return the same clusters for the same
 // Options.Seed.
 func Run(g *graph.Graph, o Options) (*Decomposition, error) {
+	return RunWith(g, o, Exec{})
+}
+
+// RunWith is Run with an execution context: it honors x.Ctx between phases
+// (returning x.Ctx.Err() when cancelled) and streams per-round statistics
+// to x.Observer. For equal Options it produces exactly the same
+// decomposition as Run.
+func RunWith(g *graph.Graph, o Options, x Exec) (*Decomposition, error) {
 	n := g.N()
 	o2, sched, err := resolve(n, o)
 	if err != nil {
 		return nil, err
 	}
+	ctx := x.ctx()
 	dec := &Decomposition{
 		N:           n,
 		Opts:        o2,
@@ -50,12 +86,30 @@ func Run(g *graph.Graph, o Options) (*Decomposition, error) {
 		maxPhases = 64*sched.budget + 1024
 	}
 
+	// The observer sees a monotone global round index across phases.
+	roundIdx := 0
+	var emit func(msgs, words int64)
+	if x.Observer != nil {
+		emit = func(msgs, words int64) {
+			x.Observer(dist.RoundStats{
+				Round:    roundIdx,
+				Messages: msgs,
+				Words:    words,
+				Active:   aliveCount,
+			})
+			roundIdx++
+		}
+	}
+
 	for phase := 0; aliveCount > 0; phase++ {
 		if phase >= sched.budget && !o2.ForceComplete {
 			break
 		}
 		if phase >= maxPhases {
 			return nil, fmt.Errorf("core: graph not exhausted after %d phases (n=%d, k=%d); this indicates a bug", phase, n, sched.k)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		beta := sched.betas[len(sched.betas)-1]
 		if phase < len(sched.betas) {
@@ -69,7 +123,7 @@ func Run(g *graph.Graph, o Options) (*Decomposition, error) {
 		if o2.RadiusMode == RadiusExact {
 			rounds = maxFlooredRadius(alive, runner.radius)
 		}
-		res := runner.run(alive, rounds)
+		res := runner.run(alive, rounds, emit)
 
 		dec.Rounds += res.rounds
 		dec.Messages += res.messages

@@ -19,9 +19,10 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 
-	"netdecomp/internal/core"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
 )
 
@@ -30,12 +31,19 @@ type Options struct {
 	// W is the covered ball radius. W = 0 degenerates to the decomposition
 	// itself.
 	W int
-	// K, C, Seed parameterize the underlying Elkin–Neiman decomposition of
-	// the power graph (Theorem 1 schedule, forced to completion). K
-	// defaults to ⌈ln n⌉, C to 8.
+	// K, C, Seed parameterize the underlying decomposition of the power
+	// graph (forced to completion). K defaults to the algorithm's default
+	// (⌈ln n⌉ for the randomized algorithms), C to 8.
 	K    int
 	C    float64
 	Seed uint64
+	// Algorithm names the registered decomposition algorithm run on the
+	// power graph; "" means "elkin-neiman". Any complete partition yields
+	// a valid cover (every ball B(v, W) lies inside the W-expansion of
+	// v's own cluster); the degree bound Degree ≤ Colors additionally
+	// needs a proper supergraph coloring, which every decomposition
+	// algorithm provides (MPX does not).
+	Algorithm string
 }
 
 // Cover is a W-neighborhood cover with its quality measures.
@@ -59,37 +67,51 @@ type Cover struct {
 
 // Build constructs a W-neighborhood cover of g.
 func Build(g *graph.Graph, o Options) (*Cover, error) {
+	return BuildContext(context.Background(), g, o)
+}
+
+// BuildContext is Build with cancellation: ctx is threaded into the
+// power-graph decomposition, whatever registered algorithm runs it.
+func BuildContext(ctx context.Context, g *graph.Graph, o Options) (*Cover, error) {
 	if o.W < 0 {
 		return nil, fmt.Errorf("cover: W must be non-negative, got %d", o.W)
 	}
 	if o.C == 0 {
 		o.C = 8
 	}
+	algorithm := o.Algorithm
+	if algorithm == "" {
+		algorithm = "elkin-neiman"
+	}
+	d, err := decomp.Get(algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("cover: %w", err)
+	}
 	h, err := power(g, 2*o.W+1)
 	if err != nil {
 		return nil, err
 	}
-	dec, err := core.Run(h, core.Options{
-		K:             o.K,
-		C:             o.C,
-		Seed:          o.Seed,
-		ForceComplete: true,
-	})
+	p, err := d.Decompose(ctx, h,
+		decomp.WithK(o.K),
+		decomp.WithC(o.C),
+		decomp.WithSeed(o.Seed),
+		decomp.WithForceComplete(),
+	)
 	if err != nil {
 		return nil, fmt.Errorf("cover: decomposing power graph: %w", err)
 	}
 	c := &Cover{
 		W:        o.W,
-		Clusters: make([][]int, 0, len(dec.Clusters)),
-		Color:    make([]int, 0, len(dec.Clusters)),
-		Colors:   dec.Colors,
-		Rounds:   dec.Rounds * (2*o.W + 1),
+		Clusters: make([][]int, 0, len(p.Clusters)),
+		Color:    make([]int, 0, len(p.Clusters)),
+		Colors:   p.Colors,
+		Rounds:   p.Metrics.Rounds * (2*o.W + 1),
 	}
 	count := make([]int, g.N())
-	for i := range dec.Clusters {
-		expanded := expand(g, dec.Clusters[i].Members, o.W)
+	for i := range p.Clusters {
+		expanded := expand(g, p.Clusters[i].Members, o.W)
 		c.Clusters = append(c.Clusters, expanded)
-		c.Color = append(c.Color, dec.Clusters[i].Color)
+		c.Color = append(c.Color, p.Clusters[i].Color)
 		for _, v := range expanded {
 			count[v]++
 			if count[v] > c.Degree {

@@ -1,6 +1,8 @@
 package cover
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -155,5 +157,44 @@ func TestExpand(t *testing.T) {
 	}
 	if got := expand(g, []int{0, 6}, 0); !reflect.DeepEqual(got, []int{0, 6}) {
 		t.Fatalf("expand W=0 = %v", got)
+	}
+}
+
+func TestCoverFromRegistryAlgorithms(t *testing.T) {
+	// The power-graph decomposition can come from any registered
+	// algorithm: strong-diameter producers yield fully verifiable covers;
+	// the default "" resolves to elkin-neiman and must match it exactly.
+	g := gen.GnpConnected(randx.New(7), 150, 0.02)
+	for _, algo := range []string{"elkin-neiman", "mpx", "ball-carving"} {
+		c, err := Build(g, Options{W: 1, K: 3, Seed: 4, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if _, err := c.Verify(g); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	def, err := Build(g, Options{W: 1, K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := Build(g, Options{W: 1, K: 3, Seed: 4, Algorithm: "elkin-neiman"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.Clusters, en.Clusters) {
+		t.Fatal("default algorithm is not elkin-neiman")
+	}
+	if _, err := Build(g, Options{W: 1, Algorithm: "no-such"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCoverCancelled(t *testing.T) {
+	g := gen.Grid(8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, g, Options{W: 1, K: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

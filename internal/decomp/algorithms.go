@@ -1,0 +1,148 @@
+package decomp
+
+import (
+	"context"
+	"math"
+
+	"netdecomp/internal/baseline"
+	"netdecomp/internal/core"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/graph"
+)
+
+// Built-in registrations. "elkin-neiman" is an alias for the Theorem 1
+// regime; "elkin-neiman/dist" is Theorem 1 on the message-passing engine
+// (any elkin-neiman/* name runs on the engine under WithEngine or
+// WithScheduler too). "mpx/dist" is the engine-backed MPX port; "mpx" the
+// sequential shifted Dijkstra; "linial-saks" and "ball-carving" the weak-
+// diameter and sequential-yardstick baselines.
+func init() {
+	Register(Func{"elkin-neiman", elkinNeiman(core.Theorem1, false)})
+	Register(Func{"elkin-neiman/theorem1", elkinNeiman(core.Theorem1, false)})
+	Register(Func{"elkin-neiman/theorem2", elkinNeiman(core.Theorem2, false)})
+	Register(Func{"elkin-neiman/theorem3", elkinNeiman(core.Theorem3, false)})
+	Register(Func{"elkin-neiman/dist", elkinNeiman(core.Theorem1, true)})
+	Register(Func{"linial-saks", linialSaks})
+	Register(Func{"mpx", mpxSequential})
+	Register(Func{"mpx/dist", mpxEngine})
+	Register(Func{"ball-carving", ballCarving})
+}
+
+// engineOptions maps the scheduler/observer part of a Config onto the
+// engine.
+func engineOptions(cfg Config) dist.Options {
+	return dist.Options{
+		Parallel: cfg.Parallel,
+		Workers:  cfg.Workers,
+		Observer: cfg.Observer,
+	}
+}
+
+// elkinNeiman adapts both core execution paths. forceEngine pins the
+// engine path regardless of cfg.Engine (the "/dist" registry name).
+func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, *graph.Graph, Config) (*Partition, error) {
+	return func(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+		o := core.Options{
+			Variant:       variant,
+			K:             cfg.K,
+			Lambda:        cfg.Lambda,
+			C:             cfg.C,
+			Seed:          cfg.Seed,
+			PhaseBudget:   cfg.PhaseBudget,
+			ForceComplete: cfg.ForceComplete,
+		}
+		if variant == core.Theorem3 && o.Lambda == 0 {
+			o.Lambda = 2
+		}
+		if cfg.ExactRadius {
+			o.RadiusMode = core.RadiusExact
+		}
+		if forceEngine || cfg.Engine {
+			dec, metrics, err := core.RunDistributedWithMetrics(ctx, g, o, engineOptions(cfg))
+			if err != nil {
+				return nil, err
+			}
+			p := FromCore(dec)
+			p.Metrics = metrics
+			return p, nil
+		}
+		dec, err := core.RunWith(g, o, core.Exec{Ctx: ctx, Observer: cfg.Observer})
+		if err != nil {
+			return nil, err
+		}
+		return FromCore(dec), nil
+	}
+}
+
+func linialSaks(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+	k := cfg.K
+	if k == 0 {
+		k = defaultLogK(g.N(), 2)
+	}
+	bp, err := baseline.LinialSaksContext(ctx, g, baseline.LSOptions{
+		K:             k,
+		C:             cfg.C,
+		Seed:          cfg.Seed,
+		PhaseBudget:   cfg.PhaseBudget,
+		ForceComplete: cfg.ForceComplete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromBaseline("linial-saks", bp, WeakDiameter), nil
+}
+
+func mpxSequential(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+	r, err := baseline.MPXContext(ctx, g, baseline.MPXOptions{Beta: defaultBeta(cfg.Beta), Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return FromMPX("mpx", r), nil
+}
+
+func mpxEngine(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+	r, metrics, err := baseline.MPXOnEngine(ctx, g,
+		baseline.MPXOptions{Beta: defaultBeta(cfg.Beta), Seed: cfg.Seed}, engineOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	p := FromMPX("mpx/dist", r)
+	p.Metrics = metrics
+	return p, nil
+}
+
+func ballCarving(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+	k := cfg.K
+	if k == 0 {
+		// The classic existence bound sits at K = log₂ n rather than ln n.
+		k = 1
+		if n := g.N(); n > 1 {
+			k = int(math.Ceil(math.Log2(float64(n))))
+		}
+	}
+	bp, err := baseline.BallCarvingContext(ctx, g, baseline.BCOptions{K: k})
+	if err != nil {
+		return nil, err
+	}
+	return FromBaseline("ball-carving", bp, StrongDiameter), nil
+}
+
+// defaultLogK is ⌈ln n⌉ clamped below by min — the headline radius
+// parameter shared by the randomized algorithms.
+func defaultLogK(n, min int) int {
+	k := min
+	if n > 1 {
+		if ln := int(math.Ceil(math.Log(float64(n)))); ln > k {
+			k = ln
+		}
+	}
+	return k
+}
+
+// defaultBeta applies the MPX rate default.
+func defaultBeta(beta float64) float64 {
+	if beta == 0 {
+		return 0.3
+	}
+	return beta
+}

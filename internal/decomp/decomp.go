@@ -1,0 +1,289 @@
+// Package decomp is the unified decomposition API of the repository: one
+// Decomposer interface, one Partition result type, and one string-keyed
+// registry covering every clustering algorithm the repo implements —
+// Elkin–Neiman in all three theorem regimes (sequential simulation and
+// true engine execution), Linial–Saks, Miller–Peng–Xu (sequential and
+// engine-backed), and deterministic ball carving.
+//
+// The point of the paper is that strong-diameter decomposition is a
+// drop-in primitive: Elkin–Neiman competes head-to-head with Linial–Saks
+// and MPX and then feeds the same downstream consumers (MIS, coloring,
+// matching, covers, spanners). This package makes that literal: every
+// algorithm is reachable as
+//
+//	d, _ := decomp.Get("elkin-neiman/theorem2")
+//	p, err := d.Decompose(ctx, g, decomp.WithSeed(7), decomp.WithK(5))
+//
+// and every consumer accepts the resulting *Partition, so head-to-head
+// experiments and derived structures are loops over registry names rather
+// than per-algorithm glue.
+package decomp
+
+import (
+	"fmt"
+
+	"netdecomp/internal/baseline"
+	"netdecomp/internal/core"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/verify"
+)
+
+// DiameterMode records which diameter notion an algorithm bounds for its
+// clusters.
+type DiameterMode int
+
+const (
+	// StrongDiameter: every cluster is connected in its induced subgraph
+	// and the bound applies to induced-subgraph distances (Elkin–Neiman,
+	// MPX, ball carving).
+	StrongDiameter DiameterMode = iota + 1
+	// WeakDiameter: the bound applies to whole-graph distances between
+	// cluster members; induced subgraphs may be disconnected
+	// (Linial–Saks).
+	WeakDiameter
+)
+
+// String returns the mode name.
+func (m DiameterMode) String() string {
+	switch m {
+	case StrongDiameter:
+		return "strong"
+	case WeakDiameter:
+		return "weak"
+	default:
+		return fmt.Sprintf("diametermode(%d)", int(m))
+	}
+}
+
+// Cluster is one cluster of a Partition.
+type Cluster struct {
+	// Members are the vertex ids, sorted ascending.
+	Members []int
+	// Center is the vertex whose broadcast captured the members.
+	Center int
+	// Phase is the phase that carved the cluster (0 for one-shot
+	// partitions).
+	Phase int
+	// Color is the cluster's color class.
+	Color int
+}
+
+// Partition is the unified result of any registered decomposition
+// algorithm. It subsumes core.Decomposition, baseline.Partition and
+// baseline.MPXResult: clusters with colors, a completeness flag, the
+// diameter mode the algorithm bounds, and the CONGEST cost metrics of the
+// execution that produced it.
+type Partition struct {
+	// Algorithm is the registry name of the producing algorithm.
+	Algorithm string
+	// N is the number of vertices of the input graph.
+	N int
+	// Clusters lists the clusters in order of creation.
+	Clusters []Cluster
+	// ClusterOf maps each vertex to its index in Clusters, or -1 when the
+	// run ended with the vertex unassigned (only when Complete is false).
+	ClusterOf []int
+	// Colors is the number of color classes used.
+	Colors int
+	// PhasesUsed / PhaseBudget describe the phase loop.
+	PhasesUsed  int
+	PhaseBudget int
+	// Complete reports whether every vertex was clustered.
+	Complete bool
+	// Mode is the diameter notion the algorithm bounds.
+	Mode DiameterMode
+	// ProperColors reports whether the cluster colors form a proper
+	// coloring of the cluster supergraph — true for network decompositions
+	// (Elkin–Neiman, Linial–Saks, ball carving), false for low-diameter
+	// partitions (MPX, whose single color class is shared by adjacent
+	// clusters).
+	ProperColors bool
+	// Metrics is the CONGEST account of the producing execution. Purely
+	// sequential constructions (ball carving) report zero rounds; the
+	// engine-backed algorithms report real engine accounting.
+	Metrics dist.Metrics
+	// CutEdges / CutFraction are the MPX quality measures (zero for other
+	// algorithms): the number and fraction of edges with endpoints in
+	// different clusters.
+	CutEdges    int
+	CutFraction float64
+}
+
+// ColorOf returns the color class of vertex v, or -1 if v is unassigned.
+func (p *Partition) ColorOf(v int) int {
+	ci := p.ClusterOf[v]
+	if ci < 0 {
+		return -1
+	}
+	return p.Clusters[ci].Color
+}
+
+// MemberLists returns the clusters as plain member slices, the shape the
+// verify package consumes.
+func (p *Partition) MemberLists() [][]int {
+	out := make([][]int, len(p.Clusters))
+	for i := range p.Clusters {
+		out[i] = p.Clusters[i].Members
+	}
+	return out
+}
+
+// ClusterColors returns the per-cluster color slice aligned with
+// MemberLists.
+func (p *Partition) ClusterColors() []int {
+	out := make([]int, len(p.Clusters))
+	for i := range p.Clusters {
+		out[i] = p.Clusters[i].Color
+	}
+	return out
+}
+
+// Unassigned returns the vertices that were never clustered, ascending.
+func (p *Partition) Unassigned() []int {
+	var out []int
+	for v, ci := range p.ClusterOf {
+		if ci < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StrongDiameter returns the maximum strong diameter over connected
+// clusters and the number of disconnected (infinite-diameter) clusters.
+func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected, disconnected int) {
+	for i := range p.Clusters {
+		d, ok := g.SubsetStrongDiameter(p.Clusters[i].Members)
+		if !ok {
+			disconnected++
+			continue
+		}
+		if d > maxConnected {
+			maxConnected = d
+		}
+	}
+	return maxConnected, disconnected
+}
+
+// WeakDiameter returns the maximum weak diameter over all clusters; ok is
+// false if some cluster spans two components of g.
+func (p *Partition) WeakDiameter(g *graph.Graph) (int, bool) {
+	max := 0
+	for i := range p.Clusters {
+		d, ok := g.SubsetWeakDiameter(p.Clusters[i].Members)
+		if !ok {
+			return 0, false
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, true
+}
+
+// DisconnectedClusters counts clusters whose induced subgraph is
+// disconnected — the quantity that separates weak from strong
+// decompositions.
+func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
+	_, disc := p.StrongDiameter(g)
+	return disc
+}
+
+// Supergraph returns the cluster supergraph G(P): one vertex per cluster,
+// an edge between two clusters when some original edge joins them.
+// Unassigned vertices are ignored.
+func (p *Partition) Supergraph(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(len(p.Clusters))
+	for u := 0; u < g.N(); u++ {
+		cu := p.ClusterOf[u]
+		if cu < 0 {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			cw := p.ClusterOf[w]
+			if cw >= 0 && cu < cw {
+				b.AddEdge(cu, cw)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// String summarizes the partition.
+func (p *Partition) String() string {
+	return fmt.Sprintf("partition{algo=%s n=%d clusters=%d colors=%d mode=%s complete=%v rounds=%d}",
+		p.Algorithm, p.N, len(p.Clusters), p.Colors, p.Mode, p.Complete, p.Metrics.Rounds)
+}
+
+// Verify validates the partition against its graph with the invariants
+// appropriate to its mode: disjoint clusters covering the graph iff
+// Complete, connected induced subgraphs iff Mode is StrongDiameter, and a
+// proper supergraph coloring iff ProperColors.
+func (p *Partition) Verify(g *graph.Graph) *verify.Report {
+	return verify.Clustering(g, p.MemberLists(), p.ClusterColors(),
+		p.Complete, p.Mode == StrongDiameter, p.ProperColors)
+}
+
+// FromCore converts an Elkin–Neiman core.Decomposition into the unified
+// Partition. Cluster member slices are shared, not copied.
+func FromCore(dec *core.Decomposition) *Partition {
+	p := &Partition{
+		Algorithm:    "elkin-neiman/" + dec.Opts.Variant.String(),
+		N:            dec.N,
+		Clusters:     make([]Cluster, len(dec.Clusters)),
+		ClusterOf:    dec.ClusterOf,
+		Colors:       dec.Colors,
+		PhasesUsed:   dec.PhasesUsed,
+		PhaseBudget:  dec.PhaseBudget,
+		Complete:     dec.Complete,
+		Mode:         StrongDiameter,
+		ProperColors: true,
+		Metrics: dist.Metrics{
+			Rounds:          dec.Rounds,
+			Messages:        dec.Messages,
+			Words:           dec.MsgWords,
+			MaxMessageWords: dec.MaxMsgWords,
+		},
+	}
+	for i, c := range dec.Clusters {
+		p.Clusters[i] = Cluster{Members: c.Members, Center: c.Center, Phase: c.Phase, Color: c.Color}
+	}
+	return p
+}
+
+// FromBaseline converts a baseline.Partition (Linial–Saks, ball carving)
+// into the unified Partition under the given diameter mode.
+func FromBaseline(algorithm string, bp *baseline.Partition, mode DiameterMode) *Partition {
+	p := &Partition{
+		Algorithm:    algorithm,
+		N:            bp.N,
+		Clusters:     make([]Cluster, len(bp.Clusters)),
+		ClusterOf:    bp.ClusterOf,
+		Colors:       bp.Colors,
+		PhasesUsed:   bp.PhasesUsed,
+		PhaseBudget:  bp.PhaseBudget,
+		Complete:     bp.Complete,
+		Mode:         mode,
+		ProperColors: true,
+		Metrics: dist.Metrics{
+			Rounds:   bp.Rounds,
+			Messages: bp.Messages,
+		},
+	}
+	for i, c := range bp.Clusters {
+		p.Clusters[i] = Cluster{Members: c.Members, Center: c.Center, Phase: c.Phase, Color: c.Color}
+	}
+	return p
+}
+
+// FromMPX converts a baseline.MPXResult into the unified Partition: a
+// strong-diameter low-diameter partition whose single color class is not a
+// proper supergraph coloring.
+func FromMPX(algorithm string, r *baseline.MPXResult) *Partition {
+	p := FromBaseline(algorithm, &r.Partition, StrongDiameter)
+	p.ProperColors = false
+	p.CutEdges = r.CutEdges
+	p.CutFraction = r.CutFraction
+	return p
+}

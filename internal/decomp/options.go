@@ -1,0 +1,106 @@
+package decomp
+
+import "netdecomp/internal/dist"
+
+// Config is the resolved option set a Decomposer receives. Every algorithm
+// reads the fields it understands and ignores the rest, so one option list
+// drives any registry name — the head-to-head loops pass identical options
+// to every algorithm.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// K is the radius parameter (Elkin–Neiman Theorems 1–2, Linial–Saks,
+	// ball carving). 0 selects each algorithm's documented default
+	// (⌈ln n⌉ for the randomized algorithms, ⌈log₂ n⌉ for ball carving).
+	K int
+	// Lambda is the color budget of Elkin–Neiman Theorem 3; 0 defaults
+	// to 2.
+	Lambda int
+	// C is the confidence parameter of the randomized algorithms; 0
+	// defaults to 8.
+	C float64
+	// Beta is the MPX exponential rate; 0 defaults to 0.3.
+	Beta float64
+	// ForceComplete keeps carving past the theorem budget until every
+	// vertex is clustered (Elkin–Neiman, Linial–Saks; MPX and ball carving
+	// are always complete).
+	ForceComplete bool
+	// PhaseBudget overrides the theorem's phase budget when positive.
+	PhaseBudget int
+	// ExactRadius selects the RadiusExact truncation mode of the
+	// Elkin–Neiman sequential simulation.
+	ExactRadius bool
+	// Engine executes Elkin–Neiman on the internal/dist message-passing
+	// engine instead of the sequential simulation ("elkin-neiman/dist"
+	// forces this).
+	Engine bool
+	// Parallel / Workers select the engine's goroutine-pool scheduler
+	// (engine-backed algorithms only). Setting them via WithScheduler also
+	// sets Engine.
+	Parallel bool
+	Workers  int
+	// Observer streams per-round traffic statistics as the run executes.
+	// Engine-backed algorithms report real engine rounds; the sequential
+	// Elkin–Neiman simulation reports its message-accurate equivalent; the
+	// purely sequential yardsticks (Linial–Saks, MPX-sequential, ball
+	// carving) do not emit callbacks.
+	Observer func(dist.RoundStats)
+}
+
+// Option is a functional option for Decompose.
+type Option func(*Config)
+
+// Apply folds the options into a zero Config.
+func Apply(opts []Option) Config {
+	var c Config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithSeed sets the random seed.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithK sets the radius parameter.
+func WithK(k int) Option { return func(c *Config) { c.K = k } }
+
+// WithLambda sets the Theorem 3 color budget.
+func WithLambda(lambda int) Option { return func(c *Config) { c.Lambda = lambda } }
+
+// WithC sets the confidence parameter.
+func WithC(cv float64) Option { return func(c *Config) { c.C = cv } }
+
+// WithBeta sets the MPX exponential rate.
+func WithBeta(beta float64) Option { return func(c *Config) { c.Beta = beta } }
+
+// WithForceComplete keeps carving until every vertex is clustered.
+func WithForceComplete() Option { return func(c *Config) { c.ForceComplete = true } }
+
+// WithPhaseBudget overrides the phase budget.
+func WithPhaseBudget(budget int) Option { return func(c *Config) { c.PhaseBudget = budget } }
+
+// WithExactRadius selects the untruncated RadiusExact mode (sequential
+// Elkin–Neiman only).
+func WithExactRadius() Option { return func(c *Config) { c.ExactRadius = true } }
+
+// WithEngine executes on the message-passing engine (Elkin–Neiman).
+func WithEngine() Option { return func(c *Config) { c.Engine = true } }
+
+// WithScheduler selects the engine scheduler: parallel toggles the
+// goroutine pool, workers caps its size (0 = GOMAXPROCS). It implies
+// WithEngine for algorithms that have both execution paths.
+func WithScheduler(parallel bool, workers int) Option {
+	return func(c *Config) {
+		c.Engine = true
+		c.Parallel = parallel
+		c.Workers = workers
+	}
+}
+
+// WithObserver streams per-round statistics to fn as the run executes.
+func WithObserver(fn func(dist.RoundStats)) Option {
+	return func(c *Config) { c.Observer = fn }
+}

@@ -1,0 +1,92 @@
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"netdecomp/internal/graph"
+)
+
+// Decomposer is the single entry point every algorithm implements: one
+// call takes a graph and functional options and returns the unified
+// Partition. Implementations must honor ctx between phases or rounds and
+// return ctx.Err() when cancelled.
+type Decomposer interface {
+	// Name is the registry name of the algorithm.
+	Name() string
+	// Decompose runs the algorithm on g.
+	Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Partition, error)
+}
+
+// Func adapts a plain function into a Decomposer.
+type Func struct {
+	// AlgorithmName is the registry name reported by Name.
+	AlgorithmName string
+	// Run executes the algorithm on the resolved Config.
+	Run func(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error)
+}
+
+// Name implements Decomposer.
+func (f Func) Name() string { return f.AlgorithmName }
+
+// Decompose implements Decomposer: it resolves the options and delegates
+// to Run with a non-nil context.
+func (f Func) Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Partition, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.Run(ctx, g, Apply(opts))
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Decomposer{}
+)
+
+// Register adds d under its Name, replacing any previous registration
+// (last registration wins, so applications can shadow built-ins). It
+// panics on an empty name.
+func Register(d Decomposer) {
+	name := d.Name()
+	if name == "" {
+		panic("decomp: Register with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = d
+}
+
+// Get returns the Decomposer registered under name. The error lists the
+// known names, so a typo in an experiment config is self-diagnosing.
+func Get(name string) (Decomposer, error) {
+	registryMu.RLock()
+	d, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("decomp: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return d, nil
+}
+
+// MustGet is Get for static names; it panics on an unknown name.
+func MustGet(name string) Decomposer {
+	d, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

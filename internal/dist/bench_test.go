@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -15,7 +16,7 @@ func benchGossip(b *testing.B, n, rounds int, o Options) {
 	for i := 0; i < b.N; i++ {
 		g := newGossip(n, rounds)
 		g.log = nil // receipt logging is test instrumentation, not engine cost
-		if _, err := Run[words](g, o); err != nil {
+		if _, err := Run[words](context.Background(), g, o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -84,6 +84,13 @@ type Options struct {
 	// round complexity of their program should set it, turning a
 	// non-terminating program bug into an error.
 	MaxRounds int
+	// Observer, when non-nil, is invoked once per executed round — after
+	// the round's messages are committed — with that round's statistics.
+	// It streams the same data RecordRounds accumulates, without the
+	// memory cost, and is the hook the unified Decomposer API exposes as
+	// WithObserver. The callback runs on the engine goroutine: a slow
+	// observer slows the run, and it must not call back into the engine.
+	Observer func(RoundStats)
 }
 
 // Metrics is the CONGEST account of one Run.

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestRelayDoubleBuffering(t *testing.T) {
 	const n = 16
 	for _, o := range []Options{{}, {Parallel: true, Workers: 4}} {
 		p := newRelay(n)
-		m, err := Run[words](p, o)
+		m, err := Run[words](context.Background(), p, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,13 +105,13 @@ func TestSchedulersBitIdentical(t *testing.T) {
 	// order as the sequential one, for every worker count.
 	const n, rounds = 97, 9 // deliberately not a multiple of the chunk size
 	ref := newGossip(n, rounds)
-	refM, err := Run[words](ref, Options{RecordRounds: true})
+	refM, err := Run[words](context.Background(), ref, Options{RecordRounds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for workers := 1; workers <= 8; workers++ {
 		g := newGossip(n, rounds)
-		m, err := Run[words](g, Options{Parallel: true, Workers: workers, RecordRounds: true})
+		m, err := Run[words](context.Background(), g, Options{Parallel: true, Workers: workers, RecordRounds: true})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -126,7 +127,7 @@ func TestSchedulersBitIdentical(t *testing.T) {
 func TestPerRoundStats(t *testing.T) {
 	const n, rounds = 10, 5
 	g := newGossip(n, rounds)
-	m, err := Run[words](g, Options{RecordRounds: true})
+	m, err := Run[words](context.Background(), g, Options{RecordRounds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestPerRoundStats(t *testing.T) {
 		t.Fatalf("per-round sums %d/%d don't match totals %d/%d", msgs, wrds, m.Messages, m.Words)
 	}
 	// Without RecordRounds the breakdown must stay nil.
-	m2, err := Run[words](newGossip(n, rounds), Options{})
+	m2, err := Run[words](context.Background(), newGossip(n, rounds), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestWordAccounting(t *testing.T) {
 	// Payload sizes 1..4 on the gossip ring; MaxMessageWords must be the
 	// observed maximum, and Words the exact sum of payload sizes.
 	g := newGossip(8, 3)
-	m, err := Run[words](g, Options{})
+	m, err := Run[words](context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestMalformedEnvelopesError(t *testing.T) {
 	}
 	for _, tc := range cases {
 		for _, parallel := range []bool{false, true} {
-			_, err := Run[words](&misbehaving{n: 4, env: tc.env}, Options{Parallel: parallel})
+			_, err := Run[words](context.Background(), &misbehaving{n: 4, env: tc.env}, Options{Parallel: parallel})
 			if err == nil {
 				t.Fatalf("%s (parallel=%v): malformed envelope accepted", tc.name, parallel)
 			}
@@ -228,7 +229,7 @@ func (s stubborn) Step(node, round int, in []Envelope[words]) ([]Envelope[words]
 }
 
 func TestMaxRoundsAborts(t *testing.T) {
-	m, err := Run[words](stubborn{n: 3}, Options{MaxRounds: 20})
+	m, err := Run[words](context.Background(), stubborn{n: 3}, Options{MaxRounds: 20})
 	if err == nil {
 		t.Fatal("non-terminating program ran forever past MaxRounds")
 	}
@@ -261,7 +262,7 @@ func (h *halter) Step(node, round int, in []Envelope[words]) ([]Envelope[words],
 
 func TestMessageToHaltedNodeCountedButDropped(t *testing.T) {
 	h := &halter{}
-	m, err := Run[words](h, Options{})
+	m, err := Run[words](context.Background(), h, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,8 +285,84 @@ func TestMessageToHaltedNodeCountedButDropped(t *testing.T) {
 	}
 }
 
+// blocker runs forever, signalling on started once round reaches minRounds,
+// so a test can cancel a run that is provably mid-flight.
+type blocker struct {
+	n         int
+	minRounds int
+	started   chan struct{}
+	once      bool
+}
+
+func (b *blocker) NumNodes() int { return b.n }
+
+func (b *blocker) Step(node, round int, in []Envelope[words]) ([]Envelope[words], bool) {
+	if node == 0 && round == b.minRounds && !b.once {
+		b.once = true
+		close(b.started)
+	}
+	return nil, false
+}
+
+func TestContextCancelStopsRun(t *testing.T) {
+	// Cancel a non-terminating program mid-flight from another goroutine:
+	// the run must stop at the next round barrier and surface ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &blocker{n: 4, minRounds: 50, started: make(chan struct{})}
+	go func() {
+		<-b.started
+		cancel()
+	}()
+	m, err := Run[words](ctx, b, Options{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Rounds < b.minRounds {
+		t.Fatalf("run stopped after %d rounds, before the cancellation point %d", m.Rounds, b.minRounds)
+	}
+}
+
+func TestContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := Run[words](ctx, newGossip(8, 3), Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Rounds != 0 {
+		t.Fatalf("cancelled-before-start run executed %d rounds", m.Rounds)
+	}
+}
+
+func TestObserverStreamsRounds(t *testing.T) {
+	// The observer must see exactly the RecordRounds breakdown, in round
+	// order, on both schedulers.
+	for _, parallel := range []bool{false, true} {
+		var seen []RoundStats
+		m, err := Run[words](context.Background(), newGossip(9, 4), Options{
+			Parallel:     parallel,
+			RecordRounds: true,
+			Observer:     func(r RoundStats) { seen = append(seen, r) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seen, m.PerRound) {
+			t.Fatalf("parallel=%v: observer stream diverges from PerRound:\n%+v\nwant\n%+v", parallel, seen, m.PerRound)
+		}
+		for i, r := range seen {
+			if r.Round != i {
+				t.Fatalf("parallel=%v: observer call %d carried round %d", parallel, i, r.Round)
+			}
+		}
+	}
+}
+
 func TestEmptyProgram(t *testing.T) {
-	m, err := Run[words](stubborn{n: 0}, Options{})
+	m, err := Run[words](context.Background(), stubborn{n: 0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,7 +39,14 @@ type engine[M WordCounter] struct {
 // CONGEST metrics of the execution. It returns a non-nil error (with the
 // metrics accumulated so far) if the program emits a malformed envelope or
 // exceeds Options.MaxRounds.
-func Run[M WordCounter](p Program[M], o Options) (Metrics, error) {
+//
+// Cancellation is checked at the round barrier: when ctx is done before a
+// round starts, the run stops and returns ctx.Err() with the metrics
+// accumulated so far. A nil ctx is treated as context.Background().
+func Run[M WordCounter](ctx context.Context, p Program[M], o Options) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := p.NumNodes()
 	if n < 0 {
 		return Metrics{}, fmt.Errorf("dist: program reports %d nodes", n)
@@ -60,6 +68,9 @@ func Run[M WordCounter](p Program[M], o Options) (Metrics, error) {
 	}
 
 	for round := 0; e.live > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return e.metrics, err
+		}
 		if o.MaxRounds > 0 && round >= o.MaxRounds {
 			return e.metrics, fmt.Errorf("dist: %d of %d nodes still live after the %d-round limit", e.live, n, o.MaxRounds)
 		}
@@ -155,13 +166,17 @@ func (e *engine[M]) commit(round, active int) error {
 	e.metrics.Rounds++
 	e.metrics.Messages += msgs
 	e.metrics.Words += words
+	stats := RoundStats{
+		Round:    round,
+		Messages: msgs,
+		Words:    words,
+		Active:   active,
+	}
 	if e.o.RecordRounds {
-		e.metrics.PerRound = append(e.metrics.PerRound, RoundStats{
-			Round:    round,
-			Messages: msgs,
-			Words:    words,
-			Active:   active,
-		})
+		e.metrics.PerRound = append(e.metrics.PerRound, stats)
+	}
+	if e.o.Observer != nil {
+		e.o.Observer(stats)
 	}
 	// Swap mailboxes; the delivered round's inboxes become next round's
 	// (emptied) collection buffers.

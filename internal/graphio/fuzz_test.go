@@ -1,0 +1,62 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the edge-list parser: arbitrary input must either
+// parse into a graph that round-trips through Write, or return an error —
+// never panic, hang, or build an inconsistent graph.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"4 3\n0 1\n1 2\n2 3\n",
+		"2 1\n0 1\n",
+		"# comment\n\n3 1\n0 2\n",
+		"3 2\n0 1\n",              // declared more edges than present
+		"3 1\n0 1\n1 2\n",         // declared fewer
+		"3 1\n0 5\n",              // out of range
+		"-1 -1\n",                 // negative header
+		"1 0\n",                   // lone vertex
+		"a b\n",                   // non-numeric
+		"3\n0 1\n",                // one-field line
+		"3 1 9\n0 1\n",            // three-field line
+		"999999999999999999999 0", // overflow
+		"4 2\n0 1\n0 1\n",         // duplicate edge (dedup'd by builder)
+		"2 1\n1 1\n",              // self loop
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if g != nil {
+				t.Fatal("error with non-nil graph")
+			}
+			return
+		}
+		if g.N() < 0 || g.M() < 0 {
+			t.Fatalf("parsed graph has negative sizes: n=%d m=%d", g.N(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if e[0] < 0 || e[0] >= g.N() || e[1] < 0 || e[1] >= g.N() {
+				t.Fatalf("edge %v out of range [0,%d)", e, g.N())
+			}
+		}
+		// A successfully parsed graph must survive a write/read cycle.
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("re-encoding parsed graph: %v", err)
+		}
+		g2, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-parsing encoded graph: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed the graph: n %d->%d, m %d->%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+	})
+}

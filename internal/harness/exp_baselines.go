@@ -1,11 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"netdecomp/internal/baseline"
-	"netdecomp/internal/core"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/stats"
 	"netdecomp/internal/verify"
@@ -15,12 +15,16 @@ import (
 // algorithms deliver (O(log n), O(log n)) decompositions in polylog
 // rounds, but Linial–Saks only bounds the *weak* diameter — its clusters
 // can be disconnected in their induced subgraphs — while Elkin–Neiman
-// bounds the strong diameter by 2k−2.
+// bounds the strong diameter by 2k−2. Both contenders are pulled from the
+// unified registry and measured through the one Partition type.
 func T5VersusLinialSaks(cfg Config) (*Table, error) {
 	cfg = cfg.normalize()
+	ctx := context.Background()
 	n := pick(cfg, 384, 2048)
 	trials := cfg.trials(3, 10)
 	families := []gen.Family{gen.FamilyGnp, gen.FamilyGrid, gen.FamilyRingOfCliques}
+	en := decomp.MustGet("elkin-neiman")
+	ls := decomp.MustGet("linial-saks")
 	t := &Table{
 		ID:    "T5",
 		Title: fmt.Sprintf("Elkin–Neiman vs Linial–Saks (n≈%d, k=⌈ln n⌉, %d trials)", n, trials),
@@ -37,33 +41,36 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 		var enDiam, enColors, enRounds []float64
 		var lsWeak, lsStrong, lsColors, lsRounds, lsDiscFrac []float64
 		for i := 0; i < trials; i++ {
-			seed := cfg.Seed + uint64(i)*271
-			dec, err := core.Run(g, core.Options{K: k, C: 8, Seed: seed, ForceComplete: true})
+			opts := []decomp.Option{
+				decomp.WithK(k), decomp.WithC(8),
+				decomp.WithSeed(cfg.Seed + uint64(i)*271), decomp.WithForceComplete(),
+			}
+			enP, err := en.Decompose(ctx, g, opts...)
 			if err != nil {
 				return nil, err
 			}
-			d, ok := dec.StrongDiameter(g)
-			if !ok {
+			d, disc := enP.StrongDiameter(g)
+			if disc != 0 {
 				return nil, fmt.Errorf("harness: EN cluster disconnected")
 			}
 			enDiam = append(enDiam, float64(d))
-			enColors = append(enColors, float64(dec.Colors))
-			enRounds = append(enRounds, float64(dec.Rounds))
+			enColors = append(enColors, float64(enP.Colors))
+			enRounds = append(enRounds, float64(enP.Metrics.Rounds))
 
-			ls, err := baseline.LinialSaks(g, baseline.LSOptions{K: k, C: 8, Seed: seed, ForceComplete: true})
+			lsP, err := ls.Decompose(ctx, g, opts...)
 			if err != nil {
 				return nil, err
 			}
-			wd, ok := ls.WeakDiameter(g)
+			wd, ok := lsP.WeakDiameter(g)
 			if !ok {
 				return nil, fmt.Errorf("harness: LS cluster spans components")
 			}
-			sd, disc := ls.StrongDiameter(g)
+			sd, lsDisc := lsP.StrongDiameter(g)
 			lsWeak = append(lsWeak, float64(wd))
 			lsStrong = append(lsStrong, float64(sd))
-			lsDiscFrac = append(lsDiscFrac, 100*float64(disc)/float64(len(ls.Clusters)))
-			lsColors = append(lsColors, float64(ls.Colors))
-			lsRounds = append(lsRounds, float64(ls.Rounds))
+			lsDiscFrac = append(lsDiscFrac, 100*float64(lsDisc)/float64(len(lsP.Clusters)))
+			lsColors = append(lsColors, float64(lsP.Colors))
+			lsRounds = append(lsRounds, float64(lsP.Metrics.Rounds))
 		}
 		t.AddRow(fam.String(),
 			fmtF(stats.Summarize(enDiam).Max), fmtF(stats.Summarize(enColors).Mean),
@@ -82,9 +89,11 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 // O(log n / β).
 func T8MPXPartition(cfg Config) (*Table, error) {
 	cfg = cfg.normalize()
+	ctx := context.Background()
 	n := pick(cfg, 400, 4096)
 	trials := cfg.trials(5, 20)
 	families := []gen.Family{gen.FamilyGnp, gen.FamilyGrid}
+	mpx := decomp.MustGet("mpx")
 	t := &Table{
 		ID:    "T8",
 		Title: fmt.Sprintf("MPX shifted-exponential partition (n≈%d, %d trials)", n, trials),
@@ -103,20 +112,21 @@ func T8MPXPartition(cfg Config) (*Table, error) {
 			disconnected := 0
 			ballMax := 0
 			for i := 0; i < trials; i++ {
-				res, err := baseline.MPX(g, baseline.MPXOptions{Beta: beta, Seed: cfg.Seed + uint64(i)*523})
+				p, err := mpx.Decompose(ctx, g,
+					decomp.WithBeta(beta), decomp.WithSeed(cfg.Seed+uint64(i)*523))
 				if err != nil {
 					return nil, err
 				}
-				cuts = append(cuts, res.CutFraction)
-				sd, disc := res.StrongDiameter(g)
+				cuts = append(cuts, p.CutFraction)
+				sd, disc := p.StrongDiameter(g)
 				disconnected += disc
 				diams = append(diams, float64(sd))
-				counts = append(counts, float64(len(res.Clusters)))
+				counts = append(counts, float64(len(p.Clusters)))
 				// Low-intersecting shape ([BEG15] connection): radius-1
 				// balls should touch few clusters. Measure on the first
 				// trial only (it is O(n·deg) work).
 				if i == 0 {
-					bm, _, err := verify.BallIntersections(g, res.ClusterOf, 1)
+					bm, _, err := verify.BallIntersections(g, p.ClusterOf, 1)
 					if err != nil {
 						return nil, err
 					}

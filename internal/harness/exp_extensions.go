@@ -7,6 +7,7 @@ import (
 	"netdecomp/internal/baseline"
 	"netdecomp/internal/core"
 	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/spanner"
 	"netdecomp/internal/stats"
@@ -134,7 +135,7 @@ func T12Spanners(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sp, err := spanner.Build(g, dec)
+			sp, err := spanner.Build(g, decomp.FromCore(dec))
 			if err != nil {
 				return nil, err
 			}

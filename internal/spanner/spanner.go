@@ -3,19 +3,22 @@
 // al. [DMP+05] used network decompositions for computing sparse spanners
 // and linear-size skeletons").
 //
-// The construction: keep a BFS tree of every cluster (rooted at its
-// center, inside the cluster's induced subgraph — this is where the
+// The construction: keep a BFS tree of every cluster piece (rooted at its
+// center, inside the piece's induced subgraph — this is where the
 // *strong* diameter matters: the tree exists and has depth ≤ the cluster
-// radius), plus one original edge for every pair of adjacent clusters.
-// The result has at most n − #clusters + #superedges edges, stays
-// connected whenever the input is, and distances stretch by a factor
-// governed by the cluster diameter.
+// radius), plus one original edge for every pair of adjacent pieces. For a
+// strong-diameter partition every cluster is one piece; a weak-diameter
+// partition (Linial–Saks) is first refined into the connected components
+// of each cluster's induced subgraph, so the skeleton stays connected even
+// when clusters are not. The result has at most n − #pieces + #superedges
+// edges, stays connected whenever the input is, and distances stretch by a
+// factor governed by the piece diameter.
 package spanner
 
 import (
 	"fmt"
 
-	"netdecomp/internal/core"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
 )
@@ -25,55 +28,67 @@ type Spanner struct {
 	// G is the spanner as a graph on the same vertex set.
 	G *graph.Graph
 	// Edges counts the spanner edges; TreeEdges and BridgeEdges split them
-	// into intra-cluster BFS tree edges and inter-cluster bridges.
+	// into intra-piece BFS tree edges and inter-piece bridges.
 	Edges       int
 	TreeEdges   int
 	BridgeEdges int
+	// Pieces counts the connected cluster pieces the skeleton was built
+	// from (equals the cluster count for strong-diameter partitions).
+	Pieces int
 }
 
-// Build constructs the skeleton from a complete decomposition of g.
-func Build(g *graph.Graph, dec *core.Decomposition) (*Spanner, error) {
-	if !dec.Complete {
-		return nil, fmt.Errorf("spanner: decomposition incomplete; run with ForceComplete")
+// Build constructs the skeleton from any complete Partition of g — the
+// output of every registered decomposition algorithm qualifies.
+func Build(g *graph.Graph, p *decomp.Partition) (*Spanner, error) {
+	if !p.Complete {
+		return nil, fmt.Errorf("spanner: partition incomplete; decompose with force-complete")
 	}
-	if dec.N != g.N() {
-		return nil, fmt.Errorf("spanner: decomposition is for %d vertices, graph has %d", dec.N, g.N())
+	if p.N != g.N() {
+		return nil, fmt.Errorf("spanner: partition is for %d vertices, graph has %d", p.N, g.N())
 	}
 	b := graph.NewBuilder(g.N())
 	tree := 0
-	// BFS tree of each cluster from its center, restricted to members.
-	inCluster := make([]bool, g.N())
-	for i := range dec.Clusters {
-		c := &dec.Clusters[i]
-		for _, v := range c.Members {
-			inCluster[v] = true
-		}
-		root := c.Center
-		if !inCluster[root] {
-			// Defensive: with truncation events the recorded center can sit
-			// outside the component; fall back to the smallest member.
-			root = c.Members[0]
-		}
-		parent := bfsTree(g, root, inCluster)
-		for _, v := range c.Members {
-			if p := parent[v]; p >= 0 {
-				b.AddEdge(v, p)
-				tree++
+	// Refine clusters into induced connected components ("pieces") and
+	// keep a BFS tree of each, rooted at the cluster center when the
+	// center lies inside the piece, else at the smallest member.
+	pieceOf := make([]int, g.N())
+	pieces := 0
+	mask := make([]bool, g.N())
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		for _, members := range g.ComponentsOfSubset(c.Members) {
+			root := members[0]
+			for _, v := range members {
+				mask[v] = true
+				pieceOf[v] = pieces
+				if v == c.Center {
+					root = c.Center
+				}
 			}
-		}
-		for _, v := range c.Members {
-			inCluster[v] = false
+			parent := bfsTree(g, root, mask)
+			for _, v := range members {
+				if pp := parent[v]; pp >= 0 {
+					b.AddEdge(v, pp)
+					tree++
+				}
+			}
+			for _, v := range members {
+				mask[v] = false
+			}
+			pieces++
 		}
 	}
-	// One bridge per adjacent cluster pair: the lexicographically smallest
-	// crossing edge, for determinism.
+	// One bridge per adjacent piece pair: the lexicographically smallest
+	// crossing edge, for determinism. Bridging pieces rather than clusters
+	// keeps the skeleton connected for weak-diameter inputs, and is
+	// identical to cluster bridging when every cluster is connected.
 	type pair struct{ a, b int }
 	bridges := make(map[pair][2]int)
 	for u := 0; u < g.N(); u++ {
-		cu := dec.ClusterOf[u]
+		cu := pieceOf[u]
 		for _, w := range g.Neighbors(u) {
-			cw := dec.ClusterOf[w]
-			if cu == cw || cu < 0 || cw < 0 {
+			cw := pieceOf[w]
+			if cu == cw {
 				continue
 			}
 			key := pair{cu, cw}
@@ -98,6 +113,7 @@ func Build(g *graph.Graph, dec *core.Decomposition) (*Spanner, error) {
 		Edges:       sg.M(),
 		TreeEdges:   tree,
 		BridgeEdges: sg.M() - tree,
+		Pieces:      pieces,
 	}, nil
 }
 

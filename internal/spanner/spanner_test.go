@@ -1,9 +1,11 @@
 package spanner
 
 import (
+	"context"
 	"testing"
 
 	"netdecomp/internal/core"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
@@ -26,7 +28,7 @@ func TestSpannerIsSubgraphAndConnected(t *testing.T) {
 	}
 	for name, g := range graphs {
 		dec := buildDec(t, g, 4, 3)
-		s, err := Build(g, dec)
+		s, err := Build(g, decomp.FromCore(dec))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -50,7 +52,7 @@ func TestSpannerSparsifiesDenseGraphs(t *testing.T) {
 	// edges are < n and bridges are bounded by cluster adjacencies.
 	g := gen.Gnp(randx.New(2), 300, 0.1) // ~4485 edges
 	dec := buildDec(t, g, 4, 5)
-	s, err := Build(g, dec)
+	s, err := Build(g, decomp.FromCore(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestSpannerSparsifiesDenseGraphs(t *testing.T) {
 func TestSpannerStretch(t *testing.T) {
 	g := gen.GnpConnected(randx.New(3), 250, 0.02)
 	dec := buildDec(t, g, 4, 7)
-	s, err := Build(g, dec)
+	s, err := Build(g, decomp.FromCore(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestSpannerStretch(t *testing.T) {
 func TestSpannerOnTreeIsTree(t *testing.T) {
 	g := gen.RandomTree(randx.New(4), 200)
 	dec := buildDec(t, g, 3, 11)
-	s, err := Build(g, dec)
+	s, err := Build(g, decomp.FromCore(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestSpannerRejectsIncomplete(t *testing.T) {
 	if dec.Complete {
 		t.Skip("single phase completed")
 	}
-	if _, err := Build(g, dec); err == nil {
+	if _, err := Build(g, decomp.FromCore(dec)); err == nil {
 		t.Fatal("incomplete decomposition accepted")
 	}
 }
@@ -129,7 +131,7 @@ func TestSpannerSingletonClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(g, dec)
+	s, err := Build(g, decomp.FromCore(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestSpannerEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Build(g, dec)
+	s, err := Build(g, decomp.FromCore(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,5 +155,31 @@ func TestSpannerEmptyGraph(t *testing.T) {
 	}
 	if _, _, err := s.StretchSample(g, 1, 10); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSpannerFromWeakDiameterPartition(t *testing.T) {
+	// Linial–Saks clusters can be disconnected; the piece refinement must
+	// still yield a connected spanning skeleton.
+	g := gen.GnpConnected(randx.New(6), 250, 0.02)
+	d, err := decomp.MustGet("linial-saks").Decompose(context.Background(), g,
+		decomp.WithK(4), decomp.WithSeed(3), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.G.IsConnected() {
+		t.Fatal("weak-diameter spanner disconnected")
+	}
+	if s.Pieces < len(d.Clusters) {
+		t.Fatalf("refinement produced %d pieces for %d clusters", s.Pieces, len(d.Clusters))
+	}
+	for _, e := range s.G.Edges() {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("spanner edge %v not in G", e)
+		}
 	}
 }

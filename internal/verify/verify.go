@@ -68,6 +68,15 @@ func (r *Report) Err() error {
 // requireConnected adds one per cluster that is disconnected in its
 // induced subgraph (mandatory for *strong* decompositions).
 func Decomposition(g *graph.Graph, clusters [][]int, colors []int, requireComplete, requireConnected bool) *Report {
+	return Clustering(g, clusters, colors, requireComplete, requireConnected, true)
+}
+
+// Clustering is the fully general validator behind Decomposition: the
+// additional requireProperColors flag controls whether adjacent clusters
+// of equal color are violations. Low-diameter *partitions* (MPX) carry a
+// single color class and are validated with requireProperColors false;
+// network *decompositions* require true.
+func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete, requireConnected, requireProperColors bool) *Report {
 	r := &Report{ClusterCount: len(clusters)}
 	if len(colors) != len(clusters) {
 		r.Errors = append(r.Errors, fmt.Sprintf("got %d colors for %d clusters", len(colors), len(clusters)))
@@ -111,13 +120,15 @@ func Decomposition(g *graph.Graph, clusters [][]int, colors []int, requireComple
 	}
 
 	// Proper supergraph coloring.
-	for _, e := range g.Edges() {
-		cu, cv := owner[e[0]], owner[e[1]]
-		if cu < 0 || cv < 0 || cu == cv {
-			continue
-		}
-		if colors[cu] == colors[cv] {
-			r.Errors = append(r.Errors, fmt.Sprintf("edge {%d,%d} joins clusters %d,%d of equal color %d", e[0], e[1], cu, cv, colors[cu]))
+	if requireProperColors {
+		for _, e := range g.Edges() {
+			cu, cv := owner[e[0]], owner[e[1]]
+			if cu < 0 || cv < 0 || cu == cv {
+				continue
+			}
+			if colors[cu] == colors[cv] {
+				r.Errors = append(r.Errors, fmt.Sprintf("edge {%d,%d} joins clusters %d,%d of equal color %d", e[0], e[1], cu, cv, colors[cu]))
+			}
 		}
 	}
 

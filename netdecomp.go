@@ -5,16 +5,34 @@
 // simulation runtime, symmetry-breaking applications (MIS, (Δ+1)-coloring,
 // maximal matching) and validators.
 //
-// The facade re-exports the stable surface of the internal packages via
-// type aliases, so external callers work entirely through this package:
+// The primary surface is the unified Decomposer API: a string-keyed
+// registry of algorithms, one Decompose entry point with functional
+// options, and one Partition result type every downstream consumer
+// accepts:
 //
-//	g := netdecomp.NewGraphBuilder(1000)
-//	... g.AddEdge(u, v) ...
-//	dec, err := netdecomp.Decompose(g.Build(), netdecomp.Options{K: 7, C: 8, Seed: 1})
-//	report := netdecomp.Verify(graph, dec)
+//	g := netdecomp.GnpConnected(netdecomp.NewRNG(42), 2048, 0.004)
+//	d, _ := netdecomp.Get("elkin-neiman")        // or "linial-saks", "mpx", ...
+//	p, err := d.Decompose(ctx, g,
+//	        netdecomp.WithSeed(7),
+//	        netdecomp.WithForceComplete(),
+//	        netdecomp.WithObserver(func(r netdecomp.RoundStats) { ... }))
+//	rep := netdecomp.VerifyPartition(g, p)
+//	in, _ := netdecomp.AppInputFromPartition(g, p) // feeds MIS / Coloring / Matching
+//	sp, _ := netdecomp.BuildSpannerFrom(g, p)
 //
-// See the examples/ directory for complete programs and DESIGN.md for the
-// architecture and the experiment index.
+// Cancellation (ctx) stops runs between rounds or phases; WithObserver
+// streams per-round CONGEST traffic as the run executes. The registered
+// names are listed by Algorithms(); applications can add their own
+// algorithms with RegisterDecomposer.
+//
+// The per-algorithm entry points below (Decompose, DecomposeDistributed,
+// LinialSaks, MPX, MPXDistributed, BallCarving, AppInputFromDecomposition,
+// Verify, BuildSpanner) predate the registry; they remain as thin
+// deprecated shims that produce bit-identical results and now delegate to
+// the same internals.
+//
+// See the examples/ directory for complete programs, README.md for the
+// quickstart, and DESIGN.md for the architecture and experiment index.
 package netdecomp
 
 import (
@@ -24,6 +42,7 @@ import (
 	"netdecomp/internal/baseline"
 	"netdecomp/internal/core"
 	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
 	"netdecomp/internal/dist"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/graph"
@@ -78,6 +97,10 @@ const (
 
 // Decompose runs the Elkin–Neiman algorithm on g as a message-accurate
 // sequential simulation.
+//
+// Deprecated: use Get("elkin-neiman").Decompose, which returns the
+// unified Partition; convert existing Decompositions with
+// PartitionFromDecomposition.
 func Decompose(g *Graph, o Options) (*Decomposition, error) { return core.Run(g, o) }
 
 // EngineOptions configures the message-passing engine used by
@@ -87,6 +110,9 @@ type EngineOptions = dist.Options
 // DecomposeDistributed runs the identical algorithm as a true node program
 // on the synchronous message-passing engine (optionally on a goroutine
 // pool). It produces the same clusters as Decompose for equal Options.
+//
+// Deprecated: use Get("elkin-neiman/dist").Decompose, or any elkin-neiman
+// name with WithScheduler.
 func DecomposeDistributed(g *Graph, o Options, e EngineOptions) (*Decomposition, error) {
 	return core.RunDistributed(g, o, e)
 }
@@ -98,6 +124,9 @@ type VerifyReport = verify.Report
 // clusters, proper supergraph coloring, and measures diameters. Strong
 // connectivity of clusters is required; completeness is required exactly
 // when the run reported Complete.
+//
+// Deprecated: use VerifyPartition, which applies the right invariants to
+// any registered algorithm's Partition.
 func Verify(g *Graph, dec *Decomposition) *VerifyReport {
 	clusters := make([][]int, len(dec.Clusters))
 	colors := make([]int, len(dec.Clusters))
@@ -117,6 +146,8 @@ type LSOptions = baseline.LSOptions
 type LSPartition = baseline.Partition
 
 // LinialSaks runs the weak-diameter decomposition baseline.
+//
+// Deprecated: use Get("linial-saks").Decompose.
 func LinialSaks(g *Graph, o LSOptions) (*LSPartition, error) { return baseline.LinialSaks(g, o) }
 
 // MPXOptions configures the Miller–Peng–Xu partition.
@@ -126,6 +157,8 @@ type MPXOptions = baseline.MPXOptions
 type MPXResult = baseline.MPXResult
 
 // MPX runs the shifted-exponential low-diameter partition.
+//
+// Deprecated: use Get("mpx").Decompose.
 func MPX(g *Graph, o MPXOptions) (*MPXResult, error) { return baseline.MPX(g, o) }
 
 // BCOptions configures the deterministic sequential ball-carving baseline.
@@ -134,6 +167,8 @@ type BCOptions = baseline.BCOptions
 // BallCarving runs the classic deterministic sequential ball-carving
 // decomposition — the existence yardstick the distributed algorithm is
 // measured against.
+//
+// Deprecated: use Get("ball-carving").Decompose.
 func BallCarving(g *Graph, o BCOptions) (*LSPartition, error) { return baseline.BallCarving(g, o) }
 
 // Application re-exports.
@@ -143,6 +178,9 @@ type AppInput = apps.Input
 
 // AppInputFromDecomposition adapts a complete decomposition for the
 // applications (run Decompose with ForceComplete to guarantee coverage).
+//
+// Deprecated: use AppInputFromPartition, which accepts any registered
+// algorithm's Partition.
 func AppInputFromDecomposition(dec *Decomposition) (AppInput, error) { return apps.FromCore(dec) }
 
 // MISResult is a maximal independent set with distributed cost.
@@ -188,7 +226,16 @@ type Spanner = spanner.Spanner
 
 // BuildSpanner constructs the cluster-tree-plus-bridges skeleton from a
 // complete decomposition ([DMP+05]).
-func BuildSpanner(g *Graph, dec *Decomposition) (*Spanner, error) { return spanner.Build(g, dec) }
+//
+// Deprecated: use BuildSpannerFrom, which accepts any registered
+// algorithm's Partition.
+func BuildSpanner(g *Graph, dec *Decomposition) (*Spanner, error) {
+	return spanner.Build(g, decomp.FromCore(dec))
+}
+
+// BuildSpannerFrom constructs the skeleton from any complete Partition —
+// weak-diameter partitions are refined into connected pieces first.
+func BuildSpannerFrom(g *Graph, p *Partition) (*Spanner, error) { return spanner.Build(g, p) }
 
 // Graph interchange.
 
@@ -198,8 +245,11 @@ func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
 // ReadGraph parses an edge-list graph.
 func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
 
-// MPXDistributed runs the round-based MPX implementation (identical
-// output to MPX; measured rounds and messages).
+// MPXDistributed runs the round-based MPX implementation on the
+// message-passing engine (identical clusters to MPX; rounds and messages
+// from real engine accounting).
+//
+// Deprecated: use Get("mpx/dist").Decompose.
 func MPXDistributed(g *Graph, o MPXOptions) (*MPXResult, error) {
 	return baseline.MPXDistributed(g, o)
 }
