@@ -9,6 +9,7 @@ import (
 	"io"
 	"testing"
 
+	"netdecomp"
 	"netdecomp/internal/harness"
 )
 
@@ -102,3 +103,69 @@ func BenchmarkF2TradeoffFrontier(b *testing.B) { benchDriver(b, "F2") }
 // BenchmarkF3RoundsScaling regenerates figure F3: round growth versus n
 // for Elkin–Neiman and Linial–Saks at k = ⌈ln n⌉.
 func BenchmarkF3RoundsScaling(b *testing.B) { benchDriver(b, "F3") }
+
+// --- CSR-core benchmarks -------------------------------------------------
+//
+// The benchmarks below target the graph layer itself rather than a paper
+// table: construction from an edge list, single-source BFS, full edge
+// materialization, and one end-to-end elkin-neiman decomposition. Their
+// before/after numbers across the CSR redesign are recorded in
+// BENCH_csr.json (compare with cmd/benchdiff).
+
+func csrBenchEdges() (int, [][2]int) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(1), 4096, 8.0/4095)
+	return g.N(), g.Edges()
+}
+
+// BenchmarkGraphBuild4096 measures Builder throughput: one FromEdges per
+// iteration over a fixed ~16k-edge G(n,p) edge list.
+func BenchmarkGraphBuild4096(b *testing.B) {
+	n, edges := csrBenchEdges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := netdecomp.FromEdges(n, edges)
+		if g.N() != n {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+// BenchmarkGraphBFS4096 measures single-source BFS over the whole graph,
+// rotating the source so no run is trivially cached.
+func BenchmarkGraphBFS4096(b *testing.B) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(1), 4096, 8.0/4095)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFS(i % g.N())
+	}
+}
+
+// BenchmarkGraphEdges4096 measures full edge-list materialization.
+func BenchmarkGraphEdges4096(b *testing.B) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(1), 4096, 8.0/4095)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.Edges()) != g.M() {
+			b.Fatal("bad edges")
+		}
+	}
+}
+
+// BenchmarkElkinNeimanE2E2048 measures one full forced-complete
+// elkin-neiman decomposition through the registry, seed varying per
+// iteration.
+func BenchmarkElkinNeimanE2E2048(b *testing.B) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(2), 2048, 8.0/2047)
+	d := netdecomp.MustGet("elkin-neiman")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := d.Decompose(nil, g,
+			netdecomp.WithSeed(uint64(i)), netdecomp.WithForceComplete())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}

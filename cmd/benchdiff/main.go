@@ -1,0 +1,171 @@
+// Command benchdiff compares a fresh `go test -bench -benchmem` run
+// against a checked-in benchmark baseline JSON (BENCH_baseline.json or the
+// before/after BENCH_csr.json) and prints a benchstat-style delta table:
+// one row per benchmark with old/new ns/op, B/op, allocs/op and relative
+// change. CI runs it on every PR so perf regressions from refactors are
+// visible as an artifact without any external tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchdiff -baseline BENCH_csr.json
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench-output.txt
+//
+// Exit status is 0 even when benchmarks regressed (the tool informs, CI
+// gates on tests); -threshold makes it exit 1 when some benchmark's ns/op
+// grew by more than the given fraction.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// metrics is one benchmark measurement.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baselineFile covers both checked-in schemas: flat measurements
+// (netdecomp-bench/v1) and before/after pairs (netdecomp-bench-compare/v1,
+// where the "after" numbers are the baseline going forward).
+type baselineFile struct {
+	Schema     string `json:"schema"`
+	Benchmarks []struct {
+		Name string `json:"name"`
+		metrics
+		After *metrics `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func loadBaseline(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics, len(bf.Benchmarks))
+	for _, b := range bf.Benchmarks {
+		m := b.metrics
+		if b.After != nil {
+			m = *b.After
+		}
+		out[b.Name] = m
+	}
+	return out, nil
+}
+
+// parseBench extracts "BenchmarkName  iters  X ns/op [Y B/op  Z allocs/op]"
+// lines from go test output. Names are trimmed of the -CPUS suffix.
+func parseBench(r io.Reader) (map[string]metrics, []string, error) {
+	out := map[string]metrics{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m metrics
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = val
+			case "B/op":
+				m.BytesPerOp = val
+			case "allocs/op":
+				m.AllocsPerOp = val
+			}
+		}
+		if m.NsPerOp == 0 {
+			continue
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = m
+	}
+	return out, order, sc.Err()
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
+	threshold := flag.Float64("threshold", 0, "exit 1 when some ns/op grows by more than this fraction (0 disables)")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, order, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\n")
+	regressed := false
+	for _, name := range order {
+		cur := current[name]
+		old, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%.0f\tnew\n", name, cur.NsPerOp, cur.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\n",
+			name, old.NsPerOp, cur.NsPerOp, delta(old.NsPerOp, cur.NsPerOp),
+			old.AllocsPerOp, cur.AllocsPerOp, delta(old.AllocsPerOp, cur.AllocsPerOp))
+		if *threshold > 0 && old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+*threshold) {
+			regressed = true
+		}
+	}
+	w.Flush()
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% threshold\n", *threshold*100)
+		os.Exit(1)
+	}
+}

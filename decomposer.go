@@ -66,8 +66,10 @@ func Algorithms() []string { return decomp.Names() }
 // under a name wins). Use decomp.Func-style adapters via NewDecomposer.
 func RegisterDecomposer(d Decomposer) { decomp.Register(d) }
 
-// NewDecomposer wraps a plain function as a registrable Decomposer.
-func NewDecomposer(name string, run func(ctx context.Context, g *Graph, cfg DecomposerConfig) (*Partition, error)) Decomposer {
+// NewDecomposer wraps a plain function as a registrable Decomposer. The
+// function receives any read-only graph backend (GraphInterface), which
+// *Graph and *GraphView both satisfy.
+func NewDecomposer(name string, run func(ctx context.Context, g GraphInterface, cfg DecomposerConfig) (*Partition, error)) Decomposer {
 	return decomp.Func{AlgorithmName: name, Run: run}
 }
 
@@ -119,12 +121,12 @@ func WithObserver(fn func(RoundStats)) DecomposeOption { return decomp.WithObser
 // graph iff Complete), connected induced subgraphs iff the algorithm
 // bounds the strong diameter, and a proper supergraph coloring iff the
 // algorithm provides one.
-func VerifyPartition(g *Graph, p *Partition) *VerifyReport { return p.Verify(g) }
+func VerifyPartition(g GraphInterface, p *Partition) *VerifyReport { return p.Verify(g) }
 
 // AppInputFromPartition adapts any complete Partition for the
 // applications (MIS, Coloring, Matching). Partitions without a proper
 // supergraph coloring (MPX) are first-fit recolored.
-func AppInputFromPartition(g *Graph, p *Partition) (AppInput, error) {
+func AppInputFromPartition(g GraphInterface, p *Partition) (AppInput, error) {
 	return apps.FromPartition(g, p)
 }
 

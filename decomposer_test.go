@@ -116,7 +116,7 @@ func TestRegisterCustomDecomposer(t *testing.T) {
 	// A trivial "one cluster per connected component" algorithm, built
 	// from the ball-carving primitive with a huge K.
 	netdecomp.RegisterDecomposer(netdecomp.NewDecomposer("test/whole-graph",
-		func(ctx context.Context, g *netdecomp.Graph, _ netdecomp.DecomposerConfig) (*netdecomp.Partition, error) {
+		func(ctx context.Context, g netdecomp.GraphInterface, _ netdecomp.DecomposerConfig) (*netdecomp.Partition, error) {
 			inner, err := netdecomp.MustGet("ball-carving").Decompose(ctx, g, netdecomp.WithK(1))
 			if err != nil {
 				return nil, err

@@ -91,3 +91,67 @@ func TestFacadeBallCarving(t *testing.T) {
 		t.Fatalf("ball carving diameter %d (disc %d)", sd, disc)
 	}
 }
+
+// TestFacadeViewDecompose drives the CSR-redesign surface end to end: take
+// a zero-copy view of a subgraph, decompose the view through the registry,
+// and verify the partition against the view — plus fingerprint stability
+// across rebuild paths.
+func TestFacadeViewDecompose(t *testing.T) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(31), 300, 0.01)
+
+	// A view over a vertex range, and the component view of vertex 0.
+	members := make([]int, 150)
+	for i := range members {
+		members[i] = i
+	}
+	view, orig, err := netdecomp.InducedSubgraph(g, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.N() != 150 || orig[42] != 42 {
+		t.Fatalf("view shape wrong: n=%d orig[42]=%d", view.N(), orig[42])
+	}
+	comp := netdecomp.ComponentOf(g, 0)
+	if comp.N() != g.N() {
+		t.Fatalf("GnpConnected must be connected: component %d of %d", comp.N(), g.N())
+	}
+
+	d := netdecomp.MustGet("elkin-neiman")
+	p, err := d.Decompose(nil, view, netdecomp.WithSeed(5), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete || p.N != view.N() {
+		t.Fatalf("view decomposition wrong: %v", p)
+	}
+	if rep := netdecomp.VerifyPartition(view, p); !rep.Valid() {
+		t.Fatalf("view partition invalid: %v", rep.Err())
+	}
+
+	// The same subgraph decomposed as a materialized Graph must give the
+	// same clusters: views are transparent to the algorithms.
+	p2, err := d.Decompose(nil, view.Materialize(), netdecomp.WithSeed(5), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != len(p2.Clusters) || p.Colors != p2.Colors {
+		t.Fatalf("view vs materialized decomposition differ: %v vs %v", p, p2)
+	}
+
+	// Fingerprints: stable across rebuild paths, different for the sub- and
+	// host graph.
+	if netdecomp.GraphFingerprint(view) != netdecomp.GraphFingerprint(view.Materialize()) {
+		t.Fatal("view and materialized fingerprints differ")
+	}
+	if netdecomp.GraphFingerprint(view) == netdecomp.GraphFingerprint(g) {
+		t.Fatal("subgraph shares the host graph's fingerprint")
+	}
+	rebuilt := netdecomp.FromEdgeStream(g.N(), func(yield func(u, v int)) {
+		for u, v := range g.EdgeSeq() {
+			yield(u, v)
+		}
+	})
+	if netdecomp.GraphFingerprint(rebuilt) != netdecomp.GraphFingerprint(g) {
+		t.Fatal("stream rebuild changed the fingerprint")
+	}
+}

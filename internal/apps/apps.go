@@ -61,7 +61,7 @@ func FromCore(dec *core.Decomposition) (Input, error) {
 // sequential O(m) preprocessing step standing in for the O(Δ_P log n)
 // distributed supergraph coloring a fully local execution would run. The
 // sweep then costs O(D·χ') for the resulting χ'.
-func FromPartition(g *graph.Graph, p *decomp.Partition) (Input, error) {
+func FromPartition(g graph.Interface, p *decomp.Partition) (Input, error) {
 	if !p.Complete {
 		return Input{}, fmt.Errorf("apps: partition incomplete (%d vertices unassigned); decompose with WithForceComplete", len(p.Unassigned()))
 	}
@@ -78,7 +78,7 @@ func FromPartition(g *graph.Graph, p *decomp.Partition) (Input, error) {
 // greedySupergraphColors first-fit colors the cluster supergraph in
 // cluster creation order, yielding a proper per-cluster coloring for
 // partitions that lack one.
-func greedySupergraphColors(g *graph.Graph, p *decomp.Partition) []int {
+func greedySupergraphColors(g graph.Interface, p *decomp.Partition) []int {
 	sg := p.Supergraph(g)
 	colors := make([]int, sg.N())
 	for ci := range colors {
@@ -121,7 +121,7 @@ type plan struct {
 // cluster's strong diameter when its induced subgraph is connected, and
 // its weak diameter otherwise (an LS93-style cluster routes its gather
 // through outside vertices).
-func buildPlan(g *graph.Graph, in Input) (*plan, error) {
+func buildPlan(g graph.Interface, in Input) (*plan, error) {
 	if len(in.Clusters) != len(in.Colors) {
 		return nil, fmt.Errorf("apps: %d clusters but %d colors", len(in.Clusters), len(in.Colors))
 	}
@@ -164,9 +164,9 @@ func buildPlan(g *graph.Graph, in Input) (*plan, error) {
 		sort.Ints(p.order[color])
 		p.costPerCls[color] = make([]int, len(p.order[color]))
 		for i, ci := range p.order[color] {
-			d, ok := g.SubsetStrongDiameter(in.Clusters[ci])
+			d, ok := graph.SubsetStrongDiameter(g, in.Clusters[ci])
 			if !ok {
-				d, ok = g.SubsetWeakDiameter(in.Clusters[ci])
+				d, ok = graph.SubsetWeakDiameter(g, in.Clusters[ci])
 				if !ok {
 					return nil, fmt.Errorf("apps: cluster %d spans multiple components", ci)
 				}
@@ -201,7 +201,7 @@ type MISResult struct {
 // color classes: each cluster greedily decides its members consistently
 // with all previously decided neighbors. Rounds follow the O(D·χ) account:
 // one collect/solve/disseminate per color class.
-func MIS(g *graph.Graph, in Input) (*MISResult, error) {
+func MIS(g graph.Interface, in Input) (*MISResult, error) {
 	p, err := buildPlan(g, in)
 	if err != nil {
 		return nil, err
@@ -242,7 +242,7 @@ type ColoringResult struct {
 
 // Coloring computes a (Δ+1)-coloring by the same color-class sweep: every
 // cluster first-fit colors its members against already-colored neighbors.
-func Coloring(g *graph.Graph, in Input) (*ColoringResult, error) {
+func Coloring(g graph.Interface, in Input) (*ColoringResult, error) {
 	p, err := buildPlan(g, in)
 	if err != nil {
 		return nil, err
@@ -251,7 +251,7 @@ func Coloring(g *graph.Graph, in Input) (*ColoringResult, error) {
 	for v := range res.Colors {
 		res.Colors[v] = -1
 	}
-	maxDeg := g.MaxDegree()
+	maxDeg := graph.MaxDegree(g)
 	used := make([]bool, maxDeg+2)
 	for color := range p.order {
 		if len(p.order[color]) == 0 {
@@ -302,7 +302,7 @@ type MatchingResult struct {
 // the smallest proposer, and losers retry. Arbitration is required because
 // two same-color clusters, though never adjacent, can both border the same
 // earlier-class vertex.
-func Matching(g *graph.Graph, in Input) (*MatchingResult, error) {
+func Matching(g graph.Interface, in Input) (*MatchingResult, error) {
 	p, err := buildPlan(g, in)
 	if err != nil {
 		return nil, err

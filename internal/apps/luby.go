@@ -16,7 +16,7 @@ import (
 //
 // Rounds are counted as two per iteration (exchange priorities, exchange
 // decisions), the standard CONGEST accounting.
-func LubyMIS(g *graph.Graph, seed uint64) (*MISResult, error) {
+func LubyMIS(g graph.Interface, seed uint64) (*MISResult, error) {
 	n := g.N()
 	res := &MISResult{InSet: make([]bool, n)}
 	undecided := make([]bool, n)
@@ -78,7 +78,7 @@ func LubyMIS(g *graph.Graph, seed uint64) (*MISResult, error) {
 // GreedyMIS is the sequential first-fit maximal independent set, used by
 // tests as an independent correctness reference (it is not a distributed
 // algorithm; Rounds is reported as 0).
-func GreedyMIS(g *graph.Graph) *MISResult {
+func GreedyMIS(g graph.Interface) *MISResult {
 	res := &MISResult{InSet: make([]bool, g.N())}
 	for v := 0; v < g.N(); v++ {
 		free := true
@@ -97,15 +97,15 @@ func GreedyMIS(g *graph.Graph) *MISResult {
 }
 
 // GreedyMatching is the sequential greedy maximal matching reference.
-func GreedyMatching(g *graph.Graph) *MatchingResult {
+func GreedyMatching(g graph.Interface) *MatchingResult {
 	res := &MatchingResult{Mate: make([]int, g.N())}
 	for v := range res.Mate {
 		res.Mate[v] = -1
 	}
-	for _, e := range g.Edges() {
-		if res.Mate[e[0]] == -1 && res.Mate[e[1]] == -1 {
-			res.Mate[e[0]] = e[1]
-			res.Mate[e[1]] = e[0]
+	for u, w := range graph.EdgeSeq(g) {
+		if res.Mate[u] == -1 && res.Mate[w] == -1 {
+			res.Mate[u] = w
+			res.Mate[w] = u
 			res.Size++
 		}
 	}

@@ -16,13 +16,13 @@ import (
 // O(log n) rounds with high probability.
 //
 // Rounds are counted as two per iteration (propose, resolve).
-func RandomColoring(g *graph.Graph, seed uint64) (*ColoringResult, error) {
+func RandomColoring(g graph.Interface, seed uint64) (*ColoringResult, error) {
 	n := g.N()
 	res := &ColoringResult{Colors: make([]int, n)}
 	for v := range res.Colors {
 		res.Colors[v] = -1
 	}
-	palette := g.MaxDegree() + 1
+	palette := graph.MaxDegree(g) + 1
 	remaining := n
 	proposal := make([]int, n)
 	for iter := 0; remaining > 0; iter++ {

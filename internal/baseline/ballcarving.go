@@ -31,13 +31,13 @@ type BCOptions struct {
 // this sequential construction is inherently global, so its "Rounds" are
 // reported as 0 and it serves purely as the quality yardstick in the
 // comparison experiments.
-func BallCarving(g *graph.Graph, o BCOptions) (*Partition, error) {
+func BallCarving(g graph.Interface, o BCOptions) (*Partition, error) {
 	return BallCarvingContext(context.Background(), g, o)
 }
 
 // BallCarvingContext is BallCarving with cancellation: ctx is checked
 // between phases and the run returns ctx.Err() when cancelled.
-func BallCarvingContext(ctx context.Context, g *graph.Graph, o BCOptions) (*Partition, error) {
+func BallCarvingContext(ctx context.Context, g graph.Interface, o BCOptions) (*Partition, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -71,10 +71,10 @@ func (p *Partition) MemberLists() [][]int {
 // DisconnectedClusters counts clusters whose induced subgraph is
 // disconnected — i.e. clusters with infinite strong diameter. This is the
 // quantity that separates weak from strong decompositions.
-func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
+func (p *Partition) DisconnectedClusters(g graph.Interface) int {
 	count := 0
 	for i := range p.Clusters {
-		if _, ok := g.SubsetStrongDiameter(p.Clusters[i].Members); !ok {
+		if _, ok := graph.SubsetStrongDiameter(g, p.Clusters[i].Members); !ok {
 			count++
 		}
 	}
@@ -83,9 +83,9 @@ func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
 
 // StrongDiameter returns the maximum strong diameter over connected
 // clusters and the number of disconnected (infinite-diameter) clusters.
-func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected int, disconnected int) {
+func (p *Partition) StrongDiameter(g graph.Interface) (maxConnected int, disconnected int) {
 	for i := range p.Clusters {
-		d, ok := g.SubsetStrongDiameter(p.Clusters[i].Members)
+		d, ok := graph.SubsetStrongDiameter(g, p.Clusters[i].Members)
 		if !ok {
 			disconnected++
 			continue
@@ -99,10 +99,10 @@ func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected int, disconnect
 
 // WeakDiameter returns the maximum weak diameter over all clusters; ok is
 // false if some cluster spans two components of g.
-func (p *Partition) WeakDiameter(g *graph.Graph) (int, bool) {
+func (p *Partition) WeakDiameter(g graph.Interface) (int, bool) {
 	max := 0
 	for i := range p.Clusters {
-		d, ok := g.SubsetWeakDiameter(p.Clusters[i].Members)
+		d, ok := graph.SubsetWeakDiameter(g, p.Clusters[i].Members)
 		if !ok {
 			return 0, false
 		}

@@ -44,13 +44,13 @@ type LSOptions struct {
 // Rounds are counted as K−1 per phase (the maximum broadcast depth);
 // messages count each broadcast forwarded over each edge of its ball once,
 // which is the LS93 accounting of broadcast cost.
-func LinialSaks(g *graph.Graph, o LSOptions) (*Partition, error) {
+func LinialSaks(g graph.Interface, o LSOptions) (*Partition, error) {
 	return LinialSaksContext(context.Background(), g, o)
 }
 
 // LinialSaksContext is LinialSaks with cancellation: ctx is checked
 // between phases and the run returns ctx.Err() when cancelled.
-func LinialSaksContext(ctx context.Context, g *graph.Graph, o LSOptions) (*Partition, error) {
+func LinialSaksContext(ctx context.Context, g graph.Interface, o LSOptions) (*Partition, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

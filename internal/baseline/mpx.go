@@ -38,14 +38,14 @@ type MPXResult struct {
 // id). The computation is the standard shifted-start multi-source
 // Dijkstra; rounds are counted as ⌈max δ⌉ (the depth of the equivalent
 // distributed broadcast) and messages as one per edge traversal.
-func MPX(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+func MPX(g graph.Interface, o MPXOptions) (*MPXResult, error) {
 	return MPXContext(context.Background(), g, o)
 }
 
 // MPXContext is MPX with cancellation: the single Dijkstra pass checks ctx
 // once up front (the pass itself runs in milliseconds even on large
 // graphs, so a finer granularity buys nothing).
-func MPXContext(ctx context.Context, g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+func MPXContext(ctx context.Context, g graph.Interface, o MPXOptions) (*MPXResult, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -131,13 +131,13 @@ func MPXContext(ctx context.Context, g *graph.Graph, o MPXOptions) (*MPXResult, 
 	res.Complete = true
 	res.Rounds = int(math.Ceil(maxDelta))
 
-	for _, e := range g.Edges() {
-		if winner[e[0]] != winner[e[1]] {
+	for u, w := range graph.EdgeSeq(g) {
+		if winner[u] != winner[w] {
 			res.CutEdges++
 		}
 	}
-	if g.M() > 0 {
-		res.CutFraction = float64(res.CutEdges) / float64(g.M())
+	if m := graph.EdgeCount(g); m > 0 {
+		res.CutFraction = float64(res.CutEdges) / float64(m)
 	}
 	return res, nil
 }

@@ -43,7 +43,7 @@ var _ dist.WordCounter = MPXMsg{}
 // node up front, standing in for the O(log n / β)-round max-aggregation a
 // fully local execution would prepend.
 type mpxProgram struct {
-	g         *graph.Graph
+	g         graph.Interface
 	lastRound int
 
 	winner  []int
@@ -51,7 +51,7 @@ type mpxProgram struct {
 	changed []bool
 }
 
-func newMPXProgram(g *graph.Graph, delta []float64) *mpxProgram {
+func newMPXProgram(g graph.Interface, delta []float64) *mpxProgram {
 	n := g.N()
 	p := &mpxProgram{
 		g:       g,
@@ -106,7 +106,7 @@ func (p *mpxProgram) Step(node, round int, in []dist.Envelope[MPXMsg]) ([]dist.E
 // rounds, messages and words come from real engine accounting. It must
 // agree with MPX exactly on every cluster for the same options; the tests
 // assert that.
-func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
+func MPXDistributed(g graph.Interface, o MPXOptions) (*MPXResult, error) {
 	res, _, err := MPXOnEngine(context.Background(), g, o, dist.Options{})
 	return res, err
 }
@@ -115,7 +115,7 @@ func MPXDistributed(g *graph.Graph, o MPXOptions) (*MPXResult, error) {
 // engine options select the scheduler and per-round observation, ctx
 // cancels between rounds, and the raw engine metrics are returned
 // alongside the partition.
-func MPXOnEngine(ctx context.Context, g *graph.Graph, o MPXOptions, engineOpts dist.Options) (*MPXResult, dist.Metrics, error) {
+func MPXOnEngine(ctx context.Context, g graph.Interface, o MPXOptions, engineOpts dist.Options) (*MPXResult, dist.Metrics, error) {
 	if o.Beta <= 0 || o.Beta > 1 {
 		return nil, dist.Metrics{}, errBeta(o.Beta)
 	}
@@ -167,13 +167,13 @@ func MPXOnEngine(ctx context.Context, g *graph.Graph, o MPXOptions, engineOpts d
 	res.Rounds = metrics.Rounds
 	res.Messages = metrics.Messages
 
-	for _, e := range g.Edges() {
-		if p.winner[e[0]] != p.winner[e[1]] {
+	for u, w := range graph.EdgeSeq(g) {
+		if p.winner[u] != p.winner[w] {
 			res.CutEdges++
 		}
 	}
-	if g.M() > 0 {
-		res.CutFraction = float64(res.CutEdges) / float64(g.M())
+	if m := graph.EdgeCount(g); m > 0 {
+		res.CutFraction = float64(res.CutEdges) / float64(m)
 	}
 	return res, metrics, nil
 }

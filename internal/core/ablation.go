@@ -32,7 +32,7 @@ type AblationResult struct {
 // keep=2 always yields zero mismatches, while keep=1 visibly corrupts
 // decisions (a vertex needs the *gap* between its two best values, and the
 // runner-up can be pruned upstream).
-func TopKForwardingAblation(g *graph.Graph, seed uint64, beta float64, k, keep int) (AblationResult, error) {
+func TopKForwardingAblation(g graph.Interface, seed uint64, beta float64, k, keep int) (AblationResult, error) {
 	if keep != 1 && keep != 2 {
 		return AblationResult{}, fmt.Errorf("core: ablation keep must be 1 or 2, got %d", keep)
 	}
@@ -85,7 +85,7 @@ func TopKForwardingAblation(g *graph.Graph, seed uint64, beta float64, k, keep i
 // tracks and forwards only its single best (center, value) pair. The join
 // rule still needs a second value, which is now only whatever happened to
 // arrive — exactly the information the paper shows must be two-deep.
-func runTopOnePhase(g *graph.Graph, alive []bool, radius []float64, rounds int) (joined []int, centers []int) {
+func runTopOnePhase(g graph.Interface, alive []bool, radius []float64, rounds int) (joined []int, centers []int) {
 	n := g.N()
 	state := make([]topTwo, n) // second slot records arrivals but is never forwarded
 	changed := make([]bool, n)

@@ -165,10 +165,10 @@ func (d *Decomposition) Sizes() SizeSummary {
 // against the given graph. It returns ok=false if any cluster is
 // disconnected in its induced subgraph (infinite strong diameter), which
 // cannot happen for decompositions produced by this package.
-func (d *Decomposition) StrongDiameter(g *graph.Graph) (int, bool) {
+func (d *Decomposition) StrongDiameter(g graph.Interface) (int, bool) {
 	max := 0
 	for i := range d.Clusters {
-		diam, ok := g.SubsetStrongDiameter(d.Clusters[i].Members)
+		diam, ok := graph.SubsetStrongDiameter(g, d.Clusters[i].Members)
 		if !ok {
 			return 0, false
 		}
@@ -180,10 +180,10 @@ func (d *Decomposition) StrongDiameter(g *graph.Graph) (int, bool) {
 }
 
 // WeakDiameter computes the maximum weak diameter over all clusters.
-func (d *Decomposition) WeakDiameter(g *graph.Graph) (int, bool) {
+func (d *Decomposition) WeakDiameter(g graph.Interface) (int, bool) {
 	max := 0
 	for i := range d.Clusters {
-		diam, ok := g.SubsetWeakDiameter(d.Clusters[i].Members)
+		diam, ok := graph.SubsetWeakDiameter(g, d.Clusters[i].Members)
 		if !ok {
 			return 0, false
 		}
@@ -197,7 +197,7 @@ func (d *Decomposition) WeakDiameter(g *graph.Graph) (int, bool) {
 // Supergraph returns the cluster supergraph G(P): one vertex per cluster,
 // an edge between two clusters when some original edge joins them.
 // Unassigned vertices are ignored.
-func (d *Decomposition) Supergraph(g *graph.Graph) *graph.Graph {
+func (d *Decomposition) Supergraph(g graph.Interface) *graph.Graph {
 	b := graph.NewBuilder(len(d.Clusters))
 	for u := 0; u < g.N(); u++ {
 		cu := d.ClusterOf[u]
@@ -224,8 +224,8 @@ func (d *Decomposition) String() string {
 // of the block's induced subgraph) and appends them to the decomposition,
 // assigning the provided color index. centers[v] holds the center chosen by
 // each joined vertex. It returns the number of clusters appended.
-func (d *Decomposition) buildClusters(g *graph.Graph, joined []int, centers []int, phase, color int) int {
-	comps := g.ComponentsOfSubset(joined)
+func (d *Decomposition) buildClusters(g graph.Interface, joined []int, centers []int, phase, color int) int {
+	comps := graph.ComponentsOfSubset(g, joined)
 	for _, members := range comps {
 		center := centers[members[0]]
 		uniform := true

@@ -41,7 +41,7 @@ var _ dist.WordCounter = Msg{}
 // Step(node, ...) touches only index node, so the parallel scheduler needs
 // no extra synchronization.
 type program struct {
-	g         *graph.Graph
+	g         graph.Interface
 	opts      Options
 	sched     schedule
 	maxPhases int
@@ -54,7 +54,7 @@ type program struct {
 	deadNbr     []map[int32]struct{}
 }
 
-func newProgram(g *graph.Graph, o Options, s schedule) *program {
+func newProgram(g graph.Interface, o Options, s schedule) *program {
 	n := g.N()
 	maxPhases := s.budget
 	if o.ForceComplete {
@@ -202,7 +202,7 @@ func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelop
 // as Run; the integration tests assert this. RadiusExact is not supported
 // here because a node cannot locally know the global maximum radius; use
 // Run for that mode.
-func RunDistributed(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, error) {
+func RunDistributed(g graph.Interface, o Options, engineOpts dist.Options) (*Decomposition, error) {
 	dec, _, err := RunDistributedWithMetrics(context.Background(), g, o, engineOpts)
 	return dec, err
 }
@@ -212,7 +212,7 @@ func RunDistributed(g *graph.Graph, o Options, engineOpts dist.Options) (*Decomp
 // engineOpts.RecordRounds is set). Cancellation via ctx stops the engine
 // at the next round barrier and returns ctx.Err(); per-round observation
 // is available through engineOpts.Observer.
-func RunDistributedWithMetrics(ctx context.Context, g *graph.Graph, o Options, engineOpts dist.Options) (*Decomposition, dist.Metrics, error) {
+func RunDistributedWithMetrics(ctx context.Context, g graph.Interface, o Options, engineOpts dist.Options) (*Decomposition, dist.Metrics, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

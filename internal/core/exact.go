@@ -16,7 +16,7 @@ import (
 // message-passing program in distributed.go) is validated: the paper's
 // CONGEST argument says forwarding only the two best values per round
 // loses nothing, and the tests verify that claim computationally.
-func exactTopTwo(g *graph.Graph, alive []bool, radius []float64, maxHops int) []topTwo {
+func exactTopTwo(g graph.Interface, alive []bool, radius []float64, maxHops int) []topTwo {
 	n := g.N()
 	states := make([]topTwo, n)
 	for v := range states {
@@ -65,7 +65,7 @@ func exactTopTwo(g *graph.Graph, alive []bool, radius []float64, maxHops int) []
 
 // exactPhaseJoin applies the join rule to exact top-two states and returns
 // the block members (ascending) and the per-vertex chosen centers.
-func exactPhaseJoin(g *graph.Graph, alive []bool, radius []float64, maxHops int) (joined []int, centers []int) {
+func exactPhaseJoin(g graph.Interface, alive []bool, radius []float64, maxHops int) (joined []int, centers []int) {
 	states := exactTopTwo(g, alive, radius, maxHops)
 	centers = make([]int, g.N())
 	for v := range centers {

@@ -96,7 +96,7 @@ type phaseResult struct {
 // phaseRunner holds reusable scratch for the per-phase simulation so that a
 // multi-phase run performs O(1) allocations per phase.
 type phaseRunner struct {
-	g *graph.Graph
+	g graph.Interface
 	n int
 
 	radius  []float64 // exponential draws of the current phase
@@ -108,7 +108,7 @@ type phaseRunner struct {
 }
 
 // newPhaseRunner allocates scratch for graphs on n vertices.
-func newPhaseRunner(g *graph.Graph) *phaseRunner {
+func newPhaseRunner(g graph.Interface) *phaseRunner {
 	n := g.N()
 	return &phaseRunner{
 		g:       g,

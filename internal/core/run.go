@@ -43,7 +43,7 @@ func (x Exec) ctx() context.Context {
 // RunDistributed to execute the identical node program on the
 // internal/dist engine; both return the same clusters for the same
 // Options.Seed.
-func Run(g *graph.Graph, o Options) (*Decomposition, error) {
+func Run(g graph.Interface, o Options) (*Decomposition, error) {
 	return RunWith(g, o, Exec{})
 }
 
@@ -51,7 +51,7 @@ func Run(g *graph.Graph, o Options) (*Decomposition, error) {
 // (returning x.Ctx.Err() when cancelled) and streams per-round statistics
 // to x.Observer. For equal Options it produces exactly the same
 // decomposition as Run.
-func RunWith(g *graph.Graph, o Options, x Exec) (*Decomposition, error) {
+func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 	n := g.N()
 	o2, sched, err := resolve(n, o)
 	if err != nil {

@@ -66,13 +66,13 @@ type Cover struct {
 }
 
 // Build constructs a W-neighborhood cover of g.
-func Build(g *graph.Graph, o Options) (*Cover, error) {
+func Build(g graph.Interface, o Options) (*Cover, error) {
 	return BuildContext(context.Background(), g, o)
 }
 
 // BuildContext is Build with cancellation: ctx is threaded into the
 // power-graph decomposition, whatever registered algorithm runs it.
-func BuildContext(ctx context.Context, g *graph.Graph, o Options) (*Cover, error) {
+func BuildContext(ctx context.Context, g graph.Interface, o Options) (*Cover, error) {
 	if o.W < 0 {
 		return nil, fmt.Errorf("cover: W must be non-negative, got %d", o.W)
 	}
@@ -123,8 +123,9 @@ func BuildContext(ctx context.Context, g *graph.Graph, o Options) (*Cover, error
 }
 
 // power returns G^t: same vertices, an edge between every pair at distance
-// at most t in g. t must be at least 1.
-func power(g *graph.Graph, t int) (*graph.Graph, error) {
+// at most t in g. t must be at least 1. For t == 1 it returns g itself (a
+// zero-copy pass-through).
+func power(g graph.Interface, t int) (graph.Interface, error) {
 	if t < 1 {
 		return nil, fmt.Errorf("cover: power exponent must be >= 1, got %d", t)
 	}
@@ -133,7 +134,7 @@ func power(g *graph.Graph, t int) (*graph.Graph, error) {
 	}
 	b := graph.NewBuilder(g.N())
 	for v := 0; v < g.N(); v++ {
-		dist := g.BFSWithin(v, t)
+		dist := graph.BFSWithin(g, v, t)
 		for w, d := range dist {
 			if d > 0 && v < w {
 				b.AddEdge(v, w)
@@ -144,7 +145,7 @@ func power(g *graph.Graph, t int) (*graph.Graph, error) {
 }
 
 // expand returns the union of W-balls around the members, sorted.
-func expand(g *graph.Graph, members []int, w int) []int {
+func expand(g graph.Interface, members []int, w int) []int {
 	if w == 0 {
 		out := make([]int, len(members))
 		copy(out, members)
@@ -152,7 +153,7 @@ func expand(g *graph.Graph, members []int, w int) []int {
 	}
 	in := make(map[int]bool, len(members)*4)
 	for _, v := range members {
-		dist := g.BFSWithin(v, w)
+		dist := graph.BFSWithin(g, v, w)
 		for u, d := range dist {
 			if d >= 0 {
 				in[u] = true
@@ -183,7 +184,7 @@ func insertionSort(a []int) {
 // Verify checks the covering property — every ball B(v, W) inside some
 // cover set — and returns the maximum strong diameter over the sets. It
 // returns an error describing the first violation found.
-func (c *Cover) Verify(g *graph.Graph) (maxDiameter int, err error) {
+func (c *Cover) Verify(g graph.Interface) (maxDiameter int, err error) {
 	// Index membership.
 	membership := make([]map[int]bool, len(c.Clusters))
 	for i, set := range c.Clusters {
@@ -200,7 +201,7 @@ func (c *Cover) Verify(g *graph.Graph) (maxDiameter int, err error) {
 		}
 	}
 	for v := 0; v < g.N(); v++ {
-		dist := g.BFSWithin(v, c.W)
+		dist := graph.BFSWithin(g, v, c.W)
 		var ball []int
 		for u, d := range dist {
 			if d >= 0 {
@@ -226,7 +227,7 @@ func (c *Cover) Verify(g *graph.Graph) (maxDiameter int, err error) {
 		}
 	}
 	for i, set := range c.Clusters {
-		d, ok := g.SubsetStrongDiameter(set)
+		d, ok := graph.SubsetStrongDiameter(g, set)
 		if !ok {
 			return 0, fmt.Errorf("cover: set %d disconnected in induced subgraph", i)
 		}

@@ -132,15 +132,15 @@ func TestPowerGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Path 0-1-2-3-4 squared: edges between all pairs at distance <= 2.
-	if !h.HasEdge(0, 2) || !h.HasEdge(1, 3) || h.HasEdge(0, 3) {
-		t.Fatalf("power graph wrong: %v", h.Edges())
+	if !graph.HasEdge(h, 0, 2) || !graph.HasEdge(h, 1, 3) || graph.HasEdge(h, 0, 3) {
+		t.Fatalf("power graph wrong: %v", graph.Edges(h))
 	}
 	// t=1 returns the graph itself.
 	h1, err := power(g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h1 != g {
+	if h1 != graph.Interface(g) {
 		t.Fatal("power(g,1) should be g")
 	}
 	if _, err := power(g, 0); err == nil {

@@ -40,8 +40,8 @@ func engineOptions(cfg Config) dist.Options {
 
 // elkinNeiman adapts both core execution paths. forceEngine pins the
 // engine path regardless of cfg.Engine (the "/dist" registry name).
-func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, *graph.Graph, Config) (*Partition, error) {
-	return func(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, graph.Interface, Config) (*Partition, error) {
+	return func(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 		o := core.Options{
 			Variant:       variant,
 			K:             cfg.K,
@@ -74,7 +74,7 @@ func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, *
 	}
 }
 
-func linialSaks(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+func linialSaks(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 	k := cfg.K
 	if k == 0 {
 		k = defaultLogK(g.N(), 2)
@@ -92,7 +92,7 @@ func linialSaks(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, er
 	return FromBaseline("linial-saks", bp, WeakDiameter), nil
 }
 
-func mpxSequential(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+func mpxSequential(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 	r, err := baseline.MPXContext(ctx, g, baseline.MPXOptions{Beta: defaultBeta(cfg.Beta), Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -100,7 +100,7 @@ func mpxSequential(ctx context.Context, g *graph.Graph, cfg Config) (*Partition,
 	return FromMPX("mpx", r), nil
 }
 
-func mpxEngine(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+func mpxEngine(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 	r, metrics, err := baseline.MPXOnEngine(ctx, g,
 		baseline.MPXOptions{Beta: defaultBeta(cfg.Beta), Seed: cfg.Seed}, engineOptions(cfg))
 	if err != nil {
@@ -111,7 +111,7 @@ func mpxEngine(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, err
 	return p, nil
 }
 
-func ballCarving(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error) {
+func ballCarving(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 	k := cfg.K
 	if k == 0 {
 		// The classic existence bound sits at K = log₂ n rather than ln n.

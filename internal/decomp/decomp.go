@@ -152,9 +152,9 @@ func (p *Partition) Unassigned() []int {
 
 // StrongDiameter returns the maximum strong diameter over connected
 // clusters and the number of disconnected (infinite-diameter) clusters.
-func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected, disconnected int) {
+func (p *Partition) StrongDiameter(g graph.Interface) (maxConnected, disconnected int) {
 	for i := range p.Clusters {
-		d, ok := g.SubsetStrongDiameter(p.Clusters[i].Members)
+		d, ok := graph.SubsetStrongDiameter(g, p.Clusters[i].Members)
 		if !ok {
 			disconnected++
 			continue
@@ -168,10 +168,10 @@ func (p *Partition) StrongDiameter(g *graph.Graph) (maxConnected, disconnected i
 
 // WeakDiameter returns the maximum weak diameter over all clusters; ok is
 // false if some cluster spans two components of g.
-func (p *Partition) WeakDiameter(g *graph.Graph) (int, bool) {
+func (p *Partition) WeakDiameter(g graph.Interface) (int, bool) {
 	max := 0
 	for i := range p.Clusters {
-		d, ok := g.SubsetWeakDiameter(p.Clusters[i].Members)
+		d, ok := graph.SubsetWeakDiameter(g, p.Clusters[i].Members)
 		if !ok {
 			return 0, false
 		}
@@ -185,7 +185,7 @@ func (p *Partition) WeakDiameter(g *graph.Graph) (int, bool) {
 // DisconnectedClusters counts clusters whose induced subgraph is
 // disconnected — the quantity that separates weak from strong
 // decompositions.
-func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
+func (p *Partition) DisconnectedClusters(g graph.Interface) int {
 	_, disc := p.StrongDiameter(g)
 	return disc
 }
@@ -193,7 +193,7 @@ func (p *Partition) DisconnectedClusters(g *graph.Graph) int {
 // Supergraph returns the cluster supergraph G(P): one vertex per cluster,
 // an edge between two clusters when some original edge joins them.
 // Unassigned vertices are ignored.
-func (p *Partition) Supergraph(g *graph.Graph) *graph.Graph {
+func (p *Partition) Supergraph(g graph.Interface) *graph.Graph {
 	b := graph.NewBuilder(len(p.Clusters))
 	for u := 0; u < g.N(); u++ {
 		cu := p.ClusterOf[u]
@@ -220,7 +220,7 @@ func (p *Partition) String() string {
 // appropriate to its mode: disjoint clusters covering the graph iff
 // Complete, connected induced subgraphs iff Mode is StrongDiameter, and a
 // proper supergraph coloring iff ProperColors.
-func (p *Partition) Verify(g *graph.Graph) *verify.Report {
+func (p *Partition) Verify(g graph.Interface) *verify.Report {
 	return verify.Clustering(g, p.MemberLists(), p.ClusterColors(),
 		p.Complete, p.Mode == StrongDiameter, p.ProperColors)
 }

@@ -1,0 +1,34 @@
+package decomp
+
+// goldenDigests pins every registry algorithm's exact output (see
+// TestGoldenPartitions). Recorded on the pre-CSR adjacency-list graph
+// representation; any change here means the decomposition outputs changed.
+var goldenDigests = map[string]uint64{
+	"ball-carving/gnp300":           0x322358338644356e,
+	"elkin-neiman/gnp300":           0x2c534a6385a09786,
+	"elkin-neiman/dist/gnp300":      0x2c534a6385a09786,
+	"elkin-neiman/theorem1/gnp300":  0x2c534a6385a09786,
+	"elkin-neiman/theorem2/gnp300":  0x87b7f20f43157e39,
+	"elkin-neiman/theorem3/gnp300":  0x78dc1531b95960f1,
+	"linial-saks/gnp300":            0x57e64efaec1d1186,
+	"mpx/gnp300":                    0xa89e43ea16dcdb01,
+	"mpx/dist/gnp300":               0xa89e43ea16dcdb01,
+	"ball-carving/ring128":          0xf00cc956fcdb592f,
+	"elkin-neiman/ring128":          0x2a8f1db5f5ee54f3,
+	"elkin-neiman/dist/ring128":     0x2a8f1db5f5ee54f3,
+	"elkin-neiman/theorem1/ring128": 0x2a8f1db5f5ee54f3,
+	"elkin-neiman/theorem2/ring128": 0x96813fb764671bd7,
+	"elkin-neiman/theorem3/ring128": 0xfc8c4561d2788721,
+	"linial-saks/ring128":           0x500f18faf09e4fc1,
+	"mpx/ring128":                   0x18a3bd6b32c78382,
+	"mpx/dist/ring128":              0x18a3bd6b32c78382,
+	"ball-carving/tree200":          0xf7b389a7280776b0,
+	"elkin-neiman/tree200":          0x3b058d069a14ad22,
+	"elkin-neiman/dist/tree200":     0x3b058d069a14ad22,
+	"elkin-neiman/theorem1/tree200": 0x3b058d069a14ad22,
+	"elkin-neiman/theorem2/tree200": 0x3b058d069a14ad22,
+	"elkin-neiman/theorem3/tree200": 0x8888c8562cf1c7a1,
+	"linial-saks/tree200":           0x1776ac02da8b5d3b,
+	"mpx/tree200":                   0xb6437e83a363ead8,
+	"mpx/dist/tree200":              0xb6437e83a363ead8,
+}

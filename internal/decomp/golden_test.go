@@ -1,0 +1,88 @@
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"netdecomp/internal/gen"
+)
+
+// partitionDigest folds every observable field of a Partition that the
+// acceptance contract pins — cluster members, centers, phases, colors, the
+// vertex assignment, color count and completeness — into one FNV-1a hash.
+// Metrics are deliberately excluded: they describe the execution, not the
+// partition.
+func partitionDigest(p *Partition) uint64 {
+	h := fnv.New64a()
+	w := func(x int) {
+		var buf [8]byte
+		v := uint64(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w(p.N)
+	w(len(p.Clusters))
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		w(len(c.Members))
+		for _, v := range c.Members {
+			w(v)
+		}
+		w(c.Center)
+		w(c.Phase)
+		w(c.Color)
+	}
+	for _, ci := range p.ClusterOf {
+		w(ci)
+	}
+	w(p.Colors)
+	if p.Complete {
+		w(1)
+	} else {
+		w(0)
+	}
+	return h.Sum64()
+}
+
+// goldenPartitions pins the exact output of every registered algorithm on
+// fixed inputs. These hashes were recorded on the pre-CSR [][]int32 graph
+// representation; the CSR redesign must reproduce them bit-for-bit, which
+// holds because both store sorted adjacency and every algorithm's traversal
+// order is a function of that order alone.
+func TestGoldenPartitions(t *testing.T) {
+	type input struct {
+		name   string
+		family gen.Family
+		n      int
+		seed   uint64
+	}
+	inputs := []input{
+		{"gnp300", gen.FamilyGnp, 300, 1},
+		{"ring128", gen.FamilyRingOfCliques, 128, 2},
+		{"tree200", gen.FamilyTree, 200, 3},
+	}
+	want := goldenDigests
+	for _, in := range inputs {
+		g, err := gen.Build(in.family, in.n, in.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range Names() {
+			d := MustGet(algo)
+			p, err := d.Decompose(context.Background(), g,
+				WithSeed(7), WithForceComplete())
+			if err != nil {
+				t.Fatalf("%s on %s: %v", algo, in.name, err)
+			}
+			key := fmt.Sprintf("%s/%s", algo, in.name)
+			got := partitionDigest(p)
+			if want[key] != got {
+				t.Errorf("%q: %#016x, // digest mismatch, want %#016x", key, got, want[key])
+			}
+		}
+	}
+}

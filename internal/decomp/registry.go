@@ -16,8 +16,10 @@ import (
 type Decomposer interface {
 	// Name is the registry name of the algorithm.
 	Name() string
-	// Decompose runs the algorithm on g.
-	Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Partition, error)
+	// Decompose runs the algorithm on g: any read-only graph backend —
+	// *graph.Graph, a zero-copy *graph.View, or a custom Interface
+	// implementation — is accepted.
+	Decompose(ctx context.Context, g graph.Interface, opts ...Option) (*Partition, error)
 }
 
 // Func adapts a plain function into a Decomposer.
@@ -25,7 +27,7 @@ type Func struct {
 	// AlgorithmName is the registry name reported by Name.
 	AlgorithmName string
 	// Run executes the algorithm on the resolved Config.
-	Run func(ctx context.Context, g *graph.Graph, cfg Config) (*Partition, error)
+	Run func(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error)
 }
 
 // Name implements Decomposer.
@@ -33,7 +35,7 @@ func (f Func) Name() string { return f.AlgorithmName }
 
 // Decompose implements Decomposer: it resolves the options and delegates
 // to Run with a non-nil context.
-func (f Func) Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Partition, error) {
+func (f Func) Decompose(ctx context.Context, g graph.Interface, opts ...Option) (*Partition, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -5,7 +5,12 @@
 //
 // Every generator is deterministic in its randx seed so that experiments
 // are reproducible and the sequential and parallel schedulers see identical
-// inputs.
+// inputs. Generators emit their edges as replayable streams into the
+// two-pass graph.FromStream builder, so the CSR arrays are laid out
+// directly — no intermediate adjacency or edge list is materialized.
+// Randomized families snapshot their rng (randx.State/SetState) before the
+// first pass and rewind for the second, which leaves the generator in
+// exactly the state a single pass would have.
 package gen
 
 import (
@@ -15,27 +20,22 @@ import (
 	"netdecomp/internal/randx"
 )
 
-// Gnp returns an Erdős–Rényi random graph G(n, p): each of the n·(n-1)/2
-// possible edges is present independently with probability p.
-//
-// For sparse p it uses geometric skipping, so the cost is proportional to
-// the number of generated edges rather than n².
-func Gnp(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
-	b := graph.NewBuilder(n)
-	if p <= 0 || n < 2 {
-		return b.Build()
+// replayable wraps a randomized edge stream so both FromStream passes see
+// identical draws: the rng is rewound to its entry state at the start of
+// every pass.
+func replayable(rng *randx.SplitMix64, stream func(yield func(u, v int))) func(yield func(u, v int)) {
+	start := rng.State()
+	return func(yield func(u, v int)) {
+		rng.SetState(start)
+		stream(yield)
 	}
-	if p >= 1 {
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				b.AddEdge(u, v)
-			}
-		}
-		return b.Build()
-	}
-	// Batagelj–Brandes skipping: iterate over the slots (v, w) with w < v
-	// in row-major order, jumping a geometric(1-p) number of slots each
-	// step, so the cost is proportional to the number of edges generated.
+}
+
+// gnpStream yields the Batagelj–Brandes edge sample of G(n, p) for
+// 0 < p < 1: iterate over the slots (v, w) with w < v in row-major order,
+// jumping a geometric(1-p) number of slots each step, so the cost is
+// proportional to the number of edges generated.
+func gnpStream(rng *randx.SplitMix64, n int, p float64, yield func(u, v int)) {
 	logq := logOneMinus(p)
 	v, w := 1, -1
 	for v < n {
@@ -46,10 +46,26 @@ func Gnp(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
 			v++
 		}
 		if v < n {
-			b.AddEdge(v, w)
+			yield(v, w)
 		}
 	}
-	return b.Build()
+}
+
+// Gnp returns an Erdős–Rényi random graph G(n, p): each of the n·(n-1)/2
+// possible edges is present independently with probability p.
+//
+// For sparse p it uses geometric skipping, so the cost is proportional to
+// the number of generated edges rather than n².
+func Gnp(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
+	if p <= 0 || n < 2 {
+		return graph.FromStream(n, func(func(u, v int)) {})
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		gnpStream(rng, n, p, yield)
+	}))
 }
 
 // GnpConnected returns a G(n,p) sample augmented with a uniformly random
@@ -57,73 +73,78 @@ func Gnp(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
 // random-graph character. Decomposition experiments usually want connected
 // inputs so that "graph exhausted" has a single meaning.
 func GnpConnected(rng *randx.SplitMix64, n int, p float64) *graph.Graph {
-	base := Gnp(rng, n, p)
-	b := graph.NewBuilder(n)
-	for _, e := range base.Edges() {
-		b.AddEdge(e[0], e[1])
-	}
-	perm := rng.Perm(n)
-	for i := 0; i+1 < n; i++ {
-		b.AddEdge(perm[i], perm[i+1])
-	}
-	return b.Build()
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		if p > 0 && p < 1 && n >= 2 {
+			gnpStream(rng, n, p, yield)
+		} else if p >= 1 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					yield(u, v)
+				}
+			}
+		}
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i++ {
+			yield(perm[i], perm[i+1])
+		}
+	}))
 }
 
 // Path returns the path graph on n vertices: 0-1-2-...-(n-1).
 func Path(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for i := 0; i+1 < n; i++ {
-		b.AddEdge(i, i+1)
-	}
-	return b.Build()
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for i := 0; i+1 < n; i++ {
+			yield(i, i+1)
+		}
+	})
 }
 
 // Cycle returns the cycle graph on n vertices.
 func Cycle(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	if n >= 2 {
-		for i := 0; i < n; i++ {
-			b.AddEdge(i, (i+1)%n)
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		if n >= 2 {
+			for i := 0; i < n; i++ {
+				yield(i, (i+1)%n)
+			}
 		}
-	}
-	return b.Build()
+	})
 }
 
 // Grid returns the rows×cols 2-dimensional mesh.
 func Grid(rows, cols int) *graph.Graph {
-	b := graph.NewBuilder(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
-			}
-			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
+	return graph.FromStream(rows*cols, func(yield func(u, v int)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if c+1 < cols {
+					yield(id(r, c), id(r, c+1))
+				}
+				if r+1 < rows {
+					yield(id(r, c), id(r+1, c))
+				}
 			}
 		}
-	}
-	return b.Build()
+	})
 }
 
 // Torus returns the rows×cols 2-dimensional torus (grid with wraparound).
 func Torus(rows, cols int) *graph.Graph {
-	b := graph.NewBuilder(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			b.AddEdge(id(r, c), id(r, (c+1)%cols))
-			b.AddEdge(id(r, c), id((r+1)%rows, c))
+	return graph.FromStream(rows*cols, func(yield func(u, v int)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				yield(id(r, c), id(r, (c+1)%cols))
+				yield(id(r, c), id((r+1)%rows, c))
+			}
 		}
-	}
-	return b.Build()
+	})
 }
 
 // CompleteTree returns the complete b-ary tree with the given number of
 // levels (a single root for levels == 1).
 func CompleteTree(arity, levels int) *graph.Graph {
 	if levels < 1 || arity < 1 {
-		return graph.NewBuilder(0).Build()
+		return graph.FromStream(0, func(func(u, v int)) {})
 	}
 	// Count nodes: 1 + b + b^2 + ... + b^(levels-1).
 	n := 0
@@ -132,58 +153,56 @@ func CompleteTree(arity, levels int) *graph.Graph {
 		n += width
 		width *= arity
 	}
-	bld := graph.NewBuilder(n)
-	for v := 1; v < n; v++ {
-		parent := (v - 1) / arity
-		bld.AddEdge(parent, v)
-	}
-	return bld.Build()
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for v := 1; v < n; v++ {
+			yield((v-1)/arity, v)
+		}
+	})
 }
 
 // RandomTree returns a uniformly random labelled tree on n vertices via a
 // random attachment process (each new vertex attaches to a uniformly
 // random earlier vertex).
 func RandomTree(rng *randx.SplitMix64, n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for v := 1; v < n; v++ {
-		b.AddEdge(v, rng.Intn(v))
-	}
-	return b.Build()
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		for v := 1; v < n; v++ {
+			yield(v, rng.Intn(v))
+		}
+	}))
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
 func Hypercube(dim int) *graph.Graph {
 	n := 1 << dim
-	b := graph.NewBuilder(n)
-	for v := 0; v < n; v++ {
-		for d := 0; d < dim; d++ {
-			w := v ^ (1 << d)
-			if v < w {
-				b.AddEdge(v, w)
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for v := 0; v < n; v++ {
+			for d := 0; d < dim; d++ {
+				if w := v ^ (1 << d); v < w {
+					yield(v, w)
+				}
 			}
 		}
-	}
-	return b.Build()
+	})
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			b.AddEdge(u, v)
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				yield(u, v)
+			}
 		}
-	}
-	return b.Build()
+	})
 }
 
 // Star returns the star K_{1,n-1} with vertex 0 as the hub.
 func Star(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for v := 1; v < n; v++ {
-		b.AddEdge(0, v)
-	}
-	return b.Build()
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for v := 1; v < n; v++ {
+			yield(0, v)
+		}
+	})
 }
 
 // RandomRegular returns an approximately d-regular graph on n vertices
@@ -192,19 +211,19 @@ func Star(n int) *graph.Graph {
 // edges, so some vertices may fall slightly short of degree d).
 // It requires n > d.
 func RandomRegular(rng *randx.SplitMix64, n, d int) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if n <= d || d < 1 {
-		return b.Build()
+		return graph.FromStream(n, func(func(u, v int)) {})
 	}
 	// Union of d random near-perfect matchings of the vertex set: each is a
 	// random permutation paired off. This yields a d-regular-ish expander.
-	for round := 0; round < d; round++ {
-		perm := rng.Perm(n)
-		for i := 0; i+1 < n; i += 2 {
-			b.AddEdge(perm[i], perm[i+1])
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		for round := 0; round < d; round++ {
+			perm := rng.Perm(n)
+			for i := 0; i+1 < n; i += 2 {
+				yield(perm[i], perm[i+1])
+			}
 		}
-	}
-	return b.Build()
+	}))
 }
 
 // RingOfCliques returns k cliques of size s arranged in a ring, with one
@@ -213,39 +232,38 @@ func RandomRegular(rng *randx.SplitMix64, n, d int) *graph.Graph {
 // cliques that are close in G but far (or disconnected) in the induced
 // subgraph.
 func RingOfCliques(k, s int) *graph.Graph {
-	n := k * s
-	b := graph.NewBuilder(n)
-	for c := 0; c < k; c++ {
-		base := c * s
-		for i := 0; i < s; i++ {
-			for j := i + 1; j < s; j++ {
-				b.AddEdge(base+i, base+j)
+	return graph.FromStream(k*s, func(yield func(u, v int)) {
+		for c := 0; c < k; c++ {
+			base := c * s
+			for i := 0; i < s; i++ {
+				for j := i + 1; j < s; j++ {
+					yield(base+i, base+j)
+				}
+			}
+			next := ((c + 1) % k) * s
+			if k > 1 && (k > 2 || c == 0) {
+				yield(base+s-1, next)
 			}
 		}
-		next := ((c + 1) % k) * s
-		if k > 1 && (k > 2 || c == 0) {
-			b.AddEdge(base+s-1, next)
-		}
-	}
-	return b.Build()
+	})
 }
 
 // Caterpillar returns a path of length spine with legs pendant vertices
 // attached to every spine vertex.
 func Caterpillar(spine, legs int) *graph.Graph {
 	n := spine + spine*legs
-	b := graph.NewBuilder(n)
-	for i := 0; i+1 < spine; i++ {
-		b.AddEdge(i, i+1)
-	}
-	next := spine
-	for i := 0; i < spine; i++ {
-		for l := 0; l < legs; l++ {
-			b.AddEdge(i, next)
-			next++
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for i := 0; i+1 < spine; i++ {
+			yield(i, i+1)
 		}
-	}
-	return b.Build()
+		next := spine
+		for i := 0; i < spine; i++ {
+			for l := 0; l < legs; l++ {
+				yield(i, next)
+				next++
+			}
+		}
+	})
 }
 
 // Barbell returns two cliques of size s joined by a path of length
@@ -256,51 +274,51 @@ func Barbell(s, bridgeLen int) *graph.Graph {
 		inner = 0
 	}
 	n := 2*s + inner
-	b := graph.NewBuilder(n)
-	for i := 0; i < s; i++ {
-		for j := i + 1; j < s; j++ {
-			b.AddEdge(i, j)
-			b.AddEdge(s+inner+i, s+inner+j)
+	return graph.FromStream(n, func(yield func(u, v int)) {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				yield(i, j)
+				yield(s+inner+i, s+inner+j)
+			}
 		}
-	}
-	// Path from vertex s-1 (in clique A) through the bridge to vertex
-	// s+inner (first of clique B).
-	prev := s - 1
-	for i := 0; i < inner; i++ {
-		b.AddEdge(prev, s+i)
-		prev = s + i
-	}
-	if n > s {
-		b.AddEdge(prev, s+inner)
-	}
-	return b.Build()
+		// Path from vertex s-1 (in clique A) through the bridge to vertex
+		// s+inner (first of clique B).
+		prev := s - 1
+		for i := 0; i < inner; i++ {
+			yield(prev, s+i)
+			prev = s + i
+		}
+		if n > s {
+			yield(prev, s+inner)
+		}
+	})
 }
 
 // WattsStrogatz returns a small-world ring lattice on n vertices where each
 // vertex connects to its k nearest ring neighbors and every edge is
 // rewired to a random endpoint with probability beta.
 func WattsStrogatz(rng *randx.SplitMix64, n, k int, beta float64) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if n < 3 || k < 1 {
-		return b.Build()
+		return graph.FromStream(n, func(func(u, v int)) {})
 	}
 	half := k / 2
 	if half < 1 {
 		half = 1
 	}
-	for v := 0; v < n; v++ {
-		for j := 1; j <= half; j++ {
-			w := (v + j) % n
-			if rng.Float64() < beta {
-				w = rng.Intn(n)
-				for w == v {
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		for v := 0; v < n; v++ {
+			for j := 1; j <= half; j++ {
+				w := (v + j) % n
+				if rng.Float64() < beta {
 					w = rng.Intn(n)
+					for w == v {
+						w = rng.Intn(n)
+					}
 				}
+				yield(v, w)
 			}
-			b.AddEdge(v, w)
 		}
-	}
-	return b.Build()
+	}))
 }
 
 // Family identifies a named workload family for CLI tools and the

@@ -6,26 +6,34 @@ const Unreachable = -1
 
 // BFS returns the vector of hop distances from src in g, with Unreachable
 // (-1) for vertices in other connected components.
-func (g *Graph) BFS(src int) []int {
+func BFS(g Interface, src int) []int {
 	dist := make([]int, g.N())
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	g.bfsInto(src, dist, nil, -1)
+	bfsInto(g, src, dist, nil, -1)
 	return dist
 }
+
+// BFS returns the vector of hop distances from src (see the package
+// function BFS).
+func (g *Graph) BFS(src int) []int { return BFS(g, src) }
 
 // BFSWithin returns hop distances from src, exploring only vertices at
 // distance at most radius. Vertices beyond the radius report Unreachable.
 // A negative radius means unbounded.
-func (g *Graph) BFSWithin(src, radius int) []int {
+func BFSWithin(g Interface, src, radius int) []int {
 	dist := make([]int, g.N())
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	g.bfsInto(src, dist, nil, radius)
+	bfsInto(g, src, dist, nil, radius)
 	return dist
 }
+
+// BFSWithin returns radius-bounded hop distances from src (see the package
+// function BFSWithin).
+func (g *Graph) BFSWithin(src, radius int) []int { return BFSWithin(g, src, radius) }
 
 // BFSRestricted returns hop distances from src in the subgraph induced by
 // the vertices with alive[v] == true. src itself must be alive; otherwise
@@ -34,7 +42,7 @@ func (g *Graph) BFSWithin(src, radius int) []int {
 // This is the traversal the per-phase algorithms use: the "current graph"
 // G_t of Elkin–Neiman is exactly G restricted to the not-yet-clustered
 // vertices.
-func (g *Graph) BFSRestricted(src int, alive []bool, radius int) []int {
+func BFSRestricted(g Interface, src int, alive []bool, radius int) []int {
 	dist := make([]int, g.N())
 	for i := range dist {
 		dist[i] = Unreachable
@@ -42,13 +50,19 @@ func (g *Graph) BFSRestricted(src int, alive []bool, radius int) []int {
 	if alive != nil && !alive[src] {
 		return dist
 	}
-	g.bfsInto(src, dist, alive, radius)
+	bfsInto(g, src, dist, alive, radius)
 	return dist
+}
+
+// BFSRestricted returns hop distances under an alive mask (see the package
+// function BFSRestricted).
+func (g *Graph) BFSRestricted(src int, alive []bool, radius int) []int {
+	return BFSRestricted(g, src, alive, radius)
 }
 
 // bfsInto runs BFS from src writing into dist (pre-filled with
 // Unreachable), honoring the optional alive mask and radius bound.
-func (g *Graph) bfsInto(src int, dist []int, alive []bool, radius int) {
+func bfsInto(g Interface, src int, dist []int, alive []bool, radius int) {
 	queue := make([]int32, 0, 64)
 	dist[src] = 0
 	queue = append(queue, int32(src))
@@ -58,7 +72,7 @@ func (g *Graph) bfsInto(src int, dist []int, alive []bool, radius int) {
 		if radius >= 0 && du >= radius {
 			continue
 		}
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(int(u)) {
 			if dist[w] != Unreachable {
 				continue
 			}
@@ -92,7 +106,7 @@ func newBFSScratch(n int) *bfsScratch {
 // run performs a BFS from src under the alive mask and radius bound, then
 // returns the scratch distance vector; entries are only valid for vertices
 // v with s.seen(v). The result is invalidated by the next run call.
-func (s *bfsScratch) run(g *Graph, src int, alive []bool, radius int) {
+func (s *bfsScratch) run(g Interface, src int, alive []bool, radius int) {
 	s.epoch++
 	s.queue = s.queue[:0]
 	if alive != nil && !alive[src] {
@@ -107,7 +121,7 @@ func (s *bfsScratch) run(g *Graph, src int, alive []bool, radius int) {
 		if radius >= 0 && du >= radius {
 			continue
 		}
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(int(u)) {
 			if s.stamp[w] == s.epoch {
 				continue
 			}
@@ -126,8 +140,8 @@ func (s *bfsScratch) seen(v int32) bool { return s.stamp[v] == s.epoch }
 
 // Eccentricity returns the maximum distance from v to any vertex reachable
 // from it, restricted to the optional alive mask.
-func (g *Graph) Eccentricity(v int, alive []bool) int {
-	dist := g.BFSRestricted(v, alive, -1)
+func Eccentricity(g Interface, v int, alive []bool) int {
+	dist := BFSRestricted(g, v, alive, -1)
 	ecc := 0
 	for _, d := range dist {
 		if d > ecc {
@@ -136,3 +150,7 @@ func (g *Graph) Eccentricity(v int, alive []bool) int {
 	}
 	return ecc
 }
+
+// Eccentricity returns the maximum distance from v to any reachable vertex
+// (see the package function Eccentricity).
+func (g *Graph) Eccentricity(v int, alive []bool) int { return Eccentricity(g, v, alive) }

@@ -3,21 +3,26 @@ package graph
 // Components returns, for every vertex, the index of its connected
 // component (components are numbered 0..count-1 in order of their smallest
 // vertex), together with the number of components.
-func (g *Graph) Components() ([]int, int) {
-	return g.ComponentsRestricted(nil)
+func Components(g Interface) ([]int, int) {
+	return ComponentsRestricted(g, nil)
 }
+
+// Components returns per-vertex component indices (see the package
+// function Components).
+func (g *Graph) Components() ([]int, int) { return Components(g) }
 
 // ComponentsRestricted computes connected components of the subgraph
 // induced by the alive mask (nil means all vertices). Dead vertices get
 // component index -1.
-func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
-	comp := make([]int, g.N())
+func ComponentsRestricted(g Interface, alive []bool) ([]int, int) {
+	n := g.N()
+	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
 	}
 	count := 0
 	queue := make([]int32, 0, 64)
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < n; v++ {
 		if comp[v] != -1 {
 			continue
 		}
@@ -28,7 +33,7 @@ func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
 		queue = append(queue[:0], int32(v))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(int(u)) {
 				if comp[w] != -1 {
 					continue
 				}
@@ -44,41 +49,38 @@ func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
 	return comp, count
 }
 
+// ComponentsRestricted computes components under an alive mask (see the
+// package function ComponentsRestricted).
+func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
+	return ComponentsRestricted(g, alive)
+}
+
 // ComponentsOfSubset computes the connected components of the subgraph
 // induced by the given vertex subset (which must not contain duplicates).
 // It returns the components as slices of original vertex ids, each sorted
-// ascending, ordered by their smallest member.
-func (g *Graph) ComponentsOfSubset(subset []int) [][]int {
-	in := make(map[int]bool, len(subset))
-	for _, v := range subset {
-		in[v] = true
+// ascending, ordered by their first member in subset order.
+//
+// The subset is wrapped in a zero-copy View, so the cost is proportional
+// to the subset and its incident edges rather than to the whole graph.
+func ComponentsOfSubset(g Interface, subset []int) [][]int {
+	if len(subset) == 0 {
+		return nil
 	}
-	visited := make(map[int]bool, len(subset))
-	var comps [][]int
-	queue := make([]int, 0, len(subset))
-	for _, v := range subset {
-		if visited[v] {
-			continue
-		}
-		visited[v] = true
-		queue = append(queue[:0], v)
-		comp := []int{}
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			comp = append(comp, u)
-			for _, w := range g.adj[u] {
-				wi := int(w)
-				if in[wi] && !visited[wi] {
-					visited[wi] = true
-					queue = append(queue, wi)
-				}
-			}
-		}
-		insertionSort(comp)
-		comps = append(comps, comp)
+	view := NewView(g, subset)
+	comp, count := Components(view)
+	comps := make([][]int, count)
+	for i, c := range comp {
+		comps[c] = append(comps[c], view.Orig(i))
+	}
+	for _, members := range comps {
+		insertionSort(members)
 	}
 	return comps
 }
+
+// ComponentsOfSubset computes components of a vertex subset (see the
+// package function ComponentsOfSubset).
+func (g *Graph) ComponentsOfSubset(subset []int) [][]int { return ComponentsOfSubset(g, subset) }
 
 // insertionSort sorts small int slices in place; cluster member lists are
 // usually tiny, so this beats sort.Ints on allocation and speed.
@@ -96,10 +98,14 @@ func insertionSort(a []int) {
 
 // IsConnected reports whether the graph is connected (the empty graph and
 // singletons are considered connected).
-func (g *Graph) IsConnected() bool {
+func IsConnected(g Interface) bool {
 	if g.N() <= 1 {
 		return true
 	}
-	_, count := g.Components()
+	_, count := Components(g)
 	return count == 1
 }
+
+// IsConnected reports whether the graph is connected (see the package
+// function IsConnected).
+func (g *Graph) IsConnected() bool { return IsConnected(g) }

@@ -4,12 +4,13 @@ package graph
 // between any pair of vertices in the same component. It returns 0 for
 // graphs with at most one vertex and ignores pairs in different components
 // (use IsConnected to detect that case). Cost is one BFS per vertex.
-func (g *Graph) Diameter() int {
+func Diameter(g Interface) int {
+	n := g.N()
 	diam := 0
-	s := newBFSScratch(g.N())
-	for v := 0; v < g.N(); v++ {
+	s := newBFSScratch(n)
+	for v := 0; v < n; v++ {
 		s.run(g, v, nil, -1)
-		for w := 0; w < g.N(); w++ {
+		for w := 0; w < n; w++ {
 			if s.seen(int32(w)) && s.dist[w] > diam {
 				diam = s.dist[w]
 			}
@@ -18,62 +19,55 @@ func (g *Graph) Diameter() int {
 	return diam
 }
 
+// Diameter returns the exact diameter (see the package function Diameter).
+func (g *Graph) Diameter() int { return Diameter(g) }
+
 // SubsetStrongDiameter returns the diameter of the subgraph induced by the
 // vertex subset — the "strong diameter" of a cluster in the sense of the
 // paper: distances are measured inside G(C) only. It returns (diameter,
 // true) when the induced subgraph is connected and (0, false) when it is
 // not (a disconnected cluster has infinite strong diameter).
 //
-// Cost is one restricted BFS per member over slice-based scratch, so large
-// clusters (the verification hot path of the scaling experiments) stay
-// allocation-free per BFS.
-func (g *Graph) SubsetStrongDiameter(subset []int) (int, bool) {
+// The subset is wrapped in a zero-copy View and the diameter measured
+// there, so the cost is one BFS per member over the view's local CSR —
+// proportional to the cluster, not the host graph. This is the
+// verification hot path of the scaling experiments.
+func SubsetStrongDiameter(g Interface, subset []int) (int, bool) {
 	if len(subset) == 0 {
 		return 0, true
 	}
-	in := make([]bool, g.N())
-	for _, v := range subset {
-		in[v] = true
-	}
+	view := NewView(g, subset)
+	n := view.N()
 	diam := 0
-	dist := make([]int, g.N())
-	stamp := make([]int, g.N())
-	epoch := 0
-	queue := make([]int32, 0, len(subset))
-	for _, src := range subset {
-		epoch++
-		queue = queue[:0]
-		dist[src] = 0
-		stamp[src] = epoch
-		queue = append(queue, int32(src))
-		reached := 1
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			du := dist[u]
-			for _, w := range g.adj[u] {
-				if !in[w] || stamp[w] == epoch {
-					continue
-				}
-				stamp[w] = epoch
-				dist[w] = du + 1
-				queue = append(queue, w)
+	s := newBFSScratch(n)
+	for v := 0; v < n; v++ {
+		s.run(view, v, nil, -1)
+		reached := 0
+		for w := 0; w < n; w++ {
+			if s.seen(int32(w)) {
 				reached++
-				if du+1 > diam {
-					diam = du + 1
+				if s.dist[w] > diam {
+					diam = s.dist[w]
 				}
 			}
 		}
-		if reached != len(subset) {
+		if reached != n {
 			return 0, false
 		}
 	}
 	return diam, true
 }
 
+// SubsetStrongDiameter returns the induced-subgraph diameter of a vertex
+// subset (see the package function SubsetStrongDiameter).
+func (g *Graph) SubsetStrongDiameter(subset []int) (int, bool) {
+	return SubsetStrongDiameter(g, subset)
+}
+
 // SubsetWeakDiameter returns the maximum distance in the whole graph G
 // between any two vertices of the subset — the "weak diameter" of a
 // cluster. Pairs that are disconnected in G report ok=false.
-func (g *Graph) SubsetWeakDiameter(subset []int) (int, bool) {
+func SubsetWeakDiameter(g Interface, subset []int) (int, bool) {
 	if len(subset) <= 1 {
 		return 0, true
 	}
@@ -91,4 +85,10 @@ func (g *Graph) SubsetWeakDiameter(subset []int) (int, bool) {
 		}
 	}
 	return diam, true
+}
+
+// SubsetWeakDiameter returns the whole-graph diameter of a vertex subset
+// (see the package function SubsetWeakDiameter).
+func (g *Graph) SubsetWeakDiameter(subset []int) (int, bool) {
+	return SubsetWeakDiameter(g, subset)
 }

@@ -1,0 +1,53 @@
+package graph
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one little-endian 64-bit word into an FNV-1a state.
+func fnvWord(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns a stable 64-bit content digest of g: FNV-1a over the
+// vertex count followed by every adjacency row (degree, then the sorted
+// neighbor ids) in vertex order. It is a pure function of the logical
+// graph — identical for a Builder-built, stream-built, parsed, or
+// View-materialized copy of the same (n, edge set) — which is what makes
+// it usable as a cache key for decomposition results and derived
+// structures. Distinct graphs collide with probability ~2⁻⁶⁴.
+//
+// *Graph and *View cache their digest, so repeated keying of the same
+// value costs O(1) after the first call; other backends are rehashed every
+// time.
+func Fingerprint(g Interface) uint64 {
+	switch t := g.(type) {
+	case *Graph:
+		return t.Fingerprint()
+	case *View:
+		return t.Fingerprint()
+	}
+	return fingerprintOf(g)
+}
+
+// fingerprintOf is the uncached digest computation behind Fingerprint.
+func fingerprintOf(g Interface) uint64 {
+	h := uint64(fnvOffset64)
+	n := g.N()
+	h = fnvWord(h, uint64(n))
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(v)
+		h = fnvWord(h, uint64(len(row)))
+		for _, w := range row {
+			h = fnvWord(h, uint64(uint32(w)))
+		}
+	}
+	return h
+}

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"fmt"
+	"iter"
+	"slices"
+	"sync"
+)
+
+// View is a zero-copy induced subgraph: a window onto a subset of a parent
+// graph's vertices, renumbered to the dense local id space 0..N()-1. A
+// View satisfies Interface, so every traversal primitive and decomposition
+// algorithm runs on it directly.
+//
+// Construction is O(len(vertices)) and copies nothing from the parent. The
+// local adjacency structure is materialized lazily — once, on first
+// adjacency access, at cost proportional to the subset and its incident
+// parent edges, never to the whole parent graph — and cached, so repeated
+// traversals pay the CSR price of a concrete Graph. Views compose: the
+// parent may itself be a View.
+//
+// Views are safe for concurrent use after construction (materialization is
+// guarded), and remain valid as long as the parent does. The parent must
+// not be mutated, which Graph guarantees by construction.
+type View struct {
+	parent Interface
+	verts  []int32 // local id -> parent id, in caller order
+	once   sync.Once
+	local  *Graph // lazily materialized local CSR
+}
+
+// NewView returns the view of g induced by the given vertices, in the
+// given order (local id i is vertices[i]). It panics if a vertex is out of
+// range; duplicate vertices panic on first adjacency access. Use Induced
+// for error-returning validation of untrusted subsets.
+func NewView(g Interface, vertices []int) *View {
+	n := g.N()
+	verts := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: view vertex %d out of range [0,%d)", v, n))
+		}
+		verts[i] = int32(v)
+	}
+	return &View{parent: g, verts: verts}
+}
+
+// Induced returns the subgraph induced by the given vertices as a
+// zero-copy View, together with the mapping from local vertex index to
+// original vertex id. Duplicate entries in vertices are an error.
+func Induced(g Interface, vertices []int) (*View, []int, error) {
+	n := g.N()
+	seen := make(map[int]struct{}, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range [0,%d)", v, n)
+		}
+		if _, dup := seen[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		seen[v] = struct{}{}
+		orig[i] = v
+	}
+	return NewView(g, vertices), orig, nil
+}
+
+// Induced returns the view induced by the given vertices (see the package
+// function Induced).
+func (g *Graph) Induced(vertices []int) (*View, []int, error) { return Induced(g, vertices) }
+
+// Component returns the connected component containing v as a zero-copy
+// View, with members in ascending order.
+func Component(g Interface, v int) *View {
+	dist := BFS(g, v)
+	members := make([]int, 0, 64)
+	for u, d := range dist {
+		if d != Unreachable {
+			members = append(members, u)
+		}
+	}
+	return NewView(g, members)
+}
+
+// Component returns the connected component of v as a View (see the
+// package function Component).
+func (g *Graph) Component(v int) *View { return Component(g, v) }
+
+// mat returns the lazily materialized local CSR.
+func (v *View) mat() *Graph {
+	v.once.Do(func() {
+		parent := v.parent
+		k := len(v.verts)
+		pn := parent.N()
+		// Parent-id -> local-id lookup: dense for large subsets, hashed for
+		// small ones so a tiny view of a huge graph stays O(subset).
+		var localOf func(int32) int32
+		if pn <= 8*k {
+			dense := make([]int32, pn)
+			for i := range dense {
+				dense[i] = -1
+			}
+			for i, pv := range v.verts {
+				if dense[pv] != -1 {
+					panic(fmt.Sprintf("graph: duplicate vertex %d in view", pv))
+				}
+				dense[pv] = int32(i)
+			}
+			localOf = func(p int32) int32 { return dense[p] }
+		} else {
+			m := make(map[int32]int32, k)
+			for i, pv := range v.verts {
+				if _, dup := m[pv]; dup {
+					panic(fmt.Sprintf("graph: duplicate vertex %d in view", pv))
+				}
+				m[pv] = int32(i)
+			}
+			localOf = func(p int32) int32 {
+				if l, ok := m[p]; ok {
+					return l
+				}
+				return -1
+			}
+		}
+		ascending := true
+		for i := 1; i < k; i++ {
+			if v.verts[i] <= v.verts[i-1] {
+				ascending = false
+				break
+			}
+		}
+		offsets := make([]int64, k+1)
+		for i, pv := range v.verts {
+			d := int64(0)
+			for _, w := range parent.Neighbors(int(pv)) {
+				if localOf(w) >= 0 {
+					d++
+				}
+			}
+			offsets[i+1] = offsets[i] + d
+		}
+		neighbors := make([]int32, offsets[k])
+		for i, pv := range v.verts {
+			pos := offsets[i]
+			for _, w := range parent.Neighbors(int(pv)) {
+				if l := localOf(w); l >= 0 {
+					neighbors[pos] = l
+					pos++
+				}
+			}
+			if !ascending {
+				// Parent rows are sorted by parent id; the remap is only
+				// monotone when the view's vertex order is too.
+				slices.Sort(neighbors[offsets[i]:pos])
+			}
+		}
+		v.local = &Graph{offsets: offsets, neighbors: neighbors, m: int(offsets[k] / 2)}
+	})
+	return v.local
+}
+
+// Materialize returns the view's induced subgraph as a standalone
+// immutable Graph in local ids (forcing materialization if it has not
+// happened yet). The result shares no state with the parent.
+func (v *View) Materialize() *Graph { return v.mat() }
+
+// N returns the number of vertices in the view.
+func (v *View) N() int { return len(v.verts) }
+
+// M returns the number of undirected edges of the induced subgraph.
+func (v *View) M() int { return v.mat().M() }
+
+// Degree returns the induced degree of local vertex u.
+func (v *View) Degree(u int) int { return v.mat().Degree(u) }
+
+// Neighbors returns the sorted induced adjacency of local vertex u, in
+// local ids.
+func (v *View) Neighbors(u int) []int32 { return v.mat().Neighbors(u) }
+
+// Orig returns the parent vertex id of local vertex u.
+func (v *View) Orig(u int) int { return int(v.verts[u]) }
+
+// Vertices returns the view's vertex set as parent ids in local-id order.
+// The slice is owned by the view and must not be modified.
+func (v *View) Vertices() []int32 { return v.verts }
+
+// HasEdge reports whether the induced edge {u, w} (local ids) is present.
+func (v *View) HasEdge(u, w int) bool { return HasEdge(v.mat(), u, w) }
+
+// MaxDegree returns the maximum induced degree.
+func (v *View) MaxDegree() int { return MaxDegree(v.mat()) }
+
+// Edges returns the induced edges in local ids (see Graph.Edges).
+func (v *View) Edges() [][2]int { return v.mat().Edges() }
+
+// EdgeSeq iterates the induced edges in local ids (see Graph.EdgeSeq).
+func (v *View) EdgeSeq() iter.Seq2[int, int] { return v.mat().EdgeSeq() }
+
+// Fingerprint returns the content digest of the induced subgraph; it
+// equals the Fingerprint of the materialized Graph by construction.
+func (v *View) Fingerprint() uint64 { return v.mat().Fingerprint() }
+
+// BFS returns hop distances from src in the view (local ids).
+func (v *View) BFS(src int) []int { return BFS(v, src) }
+
+// BFSWithin returns radius-bounded hop distances from src in the view.
+func (v *View) BFSWithin(src, radius int) []int { return BFSWithin(v, src, radius) }
+
+// BFSRestricted returns hop distances under an alive mask in the view.
+func (v *View) BFSRestricted(src int, alive []bool, radius int) []int {
+	return BFSRestricted(v, src, alive, radius)
+}
+
+// Eccentricity returns the eccentricity of local vertex u in the view.
+func (v *View) Eccentricity(u int, alive []bool) int { return Eccentricity(v, u, alive) }
+
+// Components returns per-vertex component indices of the view.
+func (v *View) Components() ([]int, int) { return Components(v) }
+
+// IsConnected reports whether the induced subgraph is connected.
+func (v *View) IsConnected() bool { return IsConnected(v) }
+
+// Diameter returns the exact diameter of the induced subgraph.
+func (v *View) Diameter() int { return Diameter(v) }
+
+// String summarizes the view for debugging output.
+func (v *View) String() string {
+	return fmt.Sprintf("view{n=%d of %d}", v.N(), v.parent.N())
+}

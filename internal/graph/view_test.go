@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+
+	"netdecomp/internal/randx"
+)
+
+// materializedInduced builds the induced subgraph of g the slow explicit
+// way — filter the edge list and rebuild from scratch — as the reference
+// the zero-copy View must match.
+func materializedInduced(g *Graph, subset []int) *Graph {
+	local := make(map[int]int, len(subset))
+	for i, v := range subset {
+		local[v] = i
+	}
+	b := NewBuilder(len(subset))
+	for u, w := range g.EdgeSeq() {
+		lu, okU := local[u]
+		lw, okW := local[w]
+		if okU && okW {
+			b.AddEdge(lu, lw)
+		}
+	}
+	return b.Build()
+}
+
+// randomSubset picks each vertex independently with probability p, in
+// ascending order.
+func randomSubset(rng *randx.SplitMix64, n int, p float64) []int {
+	var subset []int
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			subset = append(subset, v)
+		}
+	}
+	return subset
+}
+
+// TestPropertyViewMatchesInduced: on random graphs, a zero-copy View of a
+// subset is indistinguishable from the materialized induced subgraph —
+// same BFS layers from every source, same component structure, same
+// Fingerprint. This is the contract that lets the algorithms recurse on
+// views instead of copies.
+func TestPropertyViewMatchesInduced(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := randomGraph(seed, 50, 0.08)
+		rng := randx.New(seed + 500)
+		subset := randomSubset(rng, g.N(), 0.5)
+		view := NewView(g, subset)
+		ref := materializedInduced(g, subset)
+
+		if view.N() != ref.N() || view.M() != ref.M() {
+			t.Fatalf("seed %d: view n=%d m=%d, ref n=%d m=%d", seed, view.N(), view.M(), ref.N(), ref.M())
+		}
+		for v := 0; v < view.N(); v++ {
+			if view.Orig(v) != subset[v] {
+				t.Fatalf("seed %d: Orig(%d) = %d, want %d", seed, v, view.Orig(v), subset[v])
+			}
+			if !slices.Equal(view.Neighbors(v), ref.Neighbors(v)) {
+				t.Fatalf("seed %d: adjacency of %d differs: view %v, ref %v", seed, v, view.Neighbors(v), ref.Neighbors(v))
+			}
+			if !slices.Equal(view.BFS(v), ref.BFS(v)) {
+				t.Fatalf("seed %d: BFS layers from %d differ", seed, v)
+			}
+		}
+		vc, vn := view.Components()
+		rc, rn := ref.Components()
+		if vn != rn || !slices.Equal(vc, rc) {
+			t.Fatalf("seed %d: components differ: view %v/%d, ref %v/%d", seed, vc, vn, rc, rn)
+		}
+		if view.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("seed %d: view fingerprint %#x != induced fingerprint %#x", seed, view.Fingerprint(), ref.Fingerprint())
+		}
+		if view.Diameter() != ref.Diameter() {
+			t.Fatalf("seed %d: diameters differ", seed)
+		}
+	}
+}
+
+// TestViewUnsortedOrder: a view over an arbitrarily ordered vertex list
+// still presents sorted local adjacency, and matches the reference built
+// in the same order.
+func TestViewUnsortedOrder(t *testing.T) {
+	g := randomGraph(3, 40, 0.12)
+	subset := []int{17, 3, 29, 0, 11, 24, 5}
+	view := NewView(g, subset)
+	ref := materializedInduced(g, subset)
+	if view.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("unsorted view fingerprint %#x != ref %#x", view.Fingerprint(), ref.Fingerprint())
+	}
+	for v := 0; v < view.N(); v++ {
+		row := view.Neighbors(v)
+		if !slices.IsSorted(row) {
+			t.Fatalf("view adjacency of %d not sorted: %v", v, row)
+		}
+	}
+}
+
+// TestViewOfView: views compose — a view of a view equals the view of the
+// composed subset.
+func TestViewOfView(t *testing.T) {
+	g := randomGraph(7, 60, 0.1)
+	outer := randomSubset(randx.New(1), g.N(), 0.6)
+	inner := make([]int, 0, len(outer)/2)
+	composed := make([]int, 0, len(outer)/2)
+	for i := 0; i < len(outer); i += 2 {
+		inner = append(inner, i)
+		composed = append(composed, outer[i])
+	}
+	nested := NewView(NewView(g, outer), inner)
+	direct := NewView(g, composed)
+	if nested.Fingerprint() != direct.Fingerprint() {
+		t.Fatalf("nested view fingerprint %#x != direct %#x", nested.Fingerprint(), direct.Fingerprint())
+	}
+}
+
+// TestComponentView: Component returns exactly the BFS-reachable set, and
+// the view is connected.
+func TestComponentView(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	c := g.Component(4)
+	if c.N() != 3 || c.Orig(0) != 3 || c.Orig(1) != 4 || c.Orig(2) != 5 {
+		t.Fatalf("component of 4 wrong: n=%d verts=%v", c.N(), c.Vertices())
+	}
+	if !c.IsConnected() {
+		t.Fatal("component view must be connected")
+	}
+	if iso := g.Component(6); iso.N() != 1 || iso.M() != 0 {
+		t.Fatalf("isolated component wrong: %v", iso)
+	}
+}
+
+// TestFromStreamMatchesBuilder: the two-pass streaming build and the
+// staged Builder produce Fingerprint-identical graphs, including under
+// duplicate edges and self-loops in the stream.
+func TestFromStreamMatchesBuilder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {1, 2}, {3, 3}, {4, 2}, {2, 4}}
+	n := 6
+	viaBuilder := FromEdges(n, edges)
+	viaStream := FromStream(n, func(yield func(u, v int)) {
+		for _, e := range edges {
+			yield(e[0], e[1])
+		}
+	})
+	if viaStream.N() != viaBuilder.N() || viaStream.M() != viaBuilder.M() {
+		t.Fatalf("stream n=%d m=%d, builder n=%d m=%d", viaStream.N(), viaStream.M(), viaBuilder.N(), viaBuilder.M())
+	}
+	if viaStream.Fingerprint() != viaBuilder.Fingerprint() {
+		t.Fatalf("stream fingerprint %#x != builder %#x", viaStream.Fingerprint(), viaBuilder.Fingerprint())
+	}
+}
+
+// TestFingerprintDistinguishes: structurally different graphs get
+// different digests; structurally equal ones built differently get equal
+// digests.
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := path(5)
+	b := cycle(5)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("path(5) and cycle(5) share a fingerprint")
+	}
+	if path(5).Fingerprint() != a.Fingerprint() {
+		t.Fatal("identical graphs disagree on fingerprint")
+	}
+	if Fingerprint(a) != a.Fingerprint() {
+		t.Fatal("package function and cached method disagree")
+	}
+	// A graph differs from its vertex-count-padded copy.
+	padded := FromStream(6, func(yield func(u, v int)) {
+		for i := 0; i+1 < 5; i++ {
+			yield(i, i+1)
+		}
+	})
+	if padded.Fingerprint() == a.Fingerprint() {
+		t.Fatal("padding an isolated vertex should change the fingerprint")
+	}
+}
+
+// TestEdgeSeq: the iterator yields exactly Edges() in order and supports
+// early termination.
+func TestEdgeSeq(t *testing.T) {
+	g := randomGraph(11, 30, 0.2)
+	want := g.Edges()
+	if len(want) != g.M() {
+		t.Fatalf("Edges returned %d pairs for m=%d", len(want), g.M())
+	}
+	var got [][2]int
+	for u, v := range g.EdgeSeq() {
+		got = append(got, [2]int{u, v})
+	}
+	if !slices.Equal(want, got) {
+		t.Fatalf("EdgeSeq differs from Edges")
+	}
+	count := 0
+	for range g.EdgeSeq() {
+		count++
+		if count == 3 {
+			break
+		}
+	}
+	if count != 3 {
+		t.Fatalf("early break failed, count=%d", count)
+	}
+}
+
+// TestViewDegreeAndHasEdge: spot-check the remaining Interface surface of
+// views against the reference.
+func TestViewDegreeAndHasEdge(t *testing.T) {
+	g := randomGraph(13, 40, 0.15)
+	subset := randomSubset(randx.New(99), g.N(), 0.4)
+	view := NewView(g, subset)
+	ref := materializedInduced(g, subset)
+	for v := 0; v < view.N(); v++ {
+		if view.Degree(v) != ref.Degree(v) {
+			t.Fatalf("degree of %d differs", v)
+		}
+		for w := 0; w < view.N(); w++ {
+			if view.HasEdge(v, w) != ref.HasEdge(v, w) {
+				t.Fatalf("HasEdge(%d,%d) differs", v, w)
+			}
+		}
+	}
+}

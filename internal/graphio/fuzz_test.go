@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"netdecomp/internal/graph"
 )
 
 // FuzzRead hardens the edge-list parser: arbitrary input must either
@@ -57,6 +59,20 @@ func FuzzRead(f *testing.F) {
 		}
 		if g2.N() != g.N() || g2.M() != g.M() {
 			t.Fatalf("round trip changed the graph: n %d->%d, m %d->%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+		if g2.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("round trip changed the fingerprint: %#x -> %#x", g.Fingerprint(), g2.Fingerprint())
+		}
+		// Replaying the parsed edges through the two-pass streaming builder
+		// must reproduce the slice-built graph bit for bit: stream build and
+		// builder build are fingerprint-identical on every parseable input.
+		gs := graph.FromStream(g.N(), func(yield func(u, v int)) {
+			for u, v := range g.EdgeSeq() {
+				yield(u, v)
+			}
+		})
+		if gs.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("stream rebuild changed the fingerprint: %#x -> %#x", g.Fingerprint(), gs.Fingerprint())
 		}
 	})
 }

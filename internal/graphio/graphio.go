@@ -14,14 +14,16 @@ import (
 	"netdecomp/internal/graph"
 )
 
-// Write emits g in edge-list format.
-func Write(w io.Writer, g *graph.Graph) error {
+// Write emits g in edge-list format. It accepts any read-only graph
+// backend and streams the edges through graph.EdgeSeq, so no [][2]int edge
+// list is materialized however large the graph.
+func Write(w io.Writer, g graph.Interface) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), graph.EdgeCount(g)); err != nil {
 		return err
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+	for u, v := range graph.EdgeSeq(g) {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
 			return err
 		}
 	}

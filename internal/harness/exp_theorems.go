@@ -22,7 +22,7 @@ type enTrial struct {
 }
 
 // runEN executes one decomposition and measures it.
-func runEN(g *graph.Graph, o core.Options) (enTrial, error) {
+func runEN(g graph.Interface, o core.Options) (enTrial, error) {
 	dec, err := core.Run(g, o)
 	if err != nil {
 		return enTrial{}, err
@@ -54,7 +54,7 @@ type sweepAgg struct {
 	trials                int
 }
 
-func aggregateEN(g *graph.Graph, o core.Options, seed uint64, trials int) (sweepAgg, error) {
+func aggregateEN(g graph.Interface, o core.Options, seed uint64, trials int) (sweepAgg, error) {
 	var a sweepAgg
 	a.trials = trials
 	for i := 0; i < trials; i++ {

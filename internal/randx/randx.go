@@ -43,6 +43,14 @@ func (s *SplitMix64) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// State returns the generator's internal state. Together with SetState it
+// supports snapshot/replay, which the two-pass graph.FromStream builders
+// use to run a generator twice over identical draws.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState rewinds the generator to a state captured with State.
+func (s *SplitMix64) SetState(state uint64) { s.state = state }
+
 // Float64 returns a pseudo-random float64 in the half-open interval [0, 1).
 func (s *SplitMix64) Float64() float64 {
 	// Use the top 53 bits for a uniformly distributed mantissa.

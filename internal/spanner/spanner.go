@@ -39,7 +39,7 @@ type Spanner struct {
 
 // Build constructs the skeleton from any complete Partition of g — the
 // output of every registered decomposition algorithm qualifies.
-func Build(g *graph.Graph, p *decomp.Partition) (*Spanner, error) {
+func Build(g graph.Interface, p *decomp.Partition) (*Spanner, error) {
 	if !p.Complete {
 		return nil, fmt.Errorf("spanner: partition incomplete; decompose with force-complete")
 	}
@@ -50,31 +50,23 @@ func Build(g *graph.Graph, p *decomp.Partition) (*Spanner, error) {
 	tree := 0
 	// Refine clusters into induced connected components ("pieces") and
 	// keep a BFS tree of each, rooted at the cluster center when the
-	// center lies inside the piece, else at the smallest member.
+	// center lies inside the piece, else at the smallest member. Each
+	// piece is traversed through a zero-copy view of its members, so the
+	// per-piece cost is the piece and its induced edges, never the host
+	// graph.
 	pieceOf := make([]int, g.N())
 	pieces := 0
-	mask := make([]bool, g.N())
 	for i := range p.Clusters {
 		c := &p.Clusters[i]
-		for _, members := range g.ComponentsOfSubset(c.Members) {
-			root := members[0]
-			for _, v := range members {
-				mask[v] = true
+		for _, members := range graph.ComponentsOfSubset(g, c.Members) {
+			root := 0
+			for li, v := range members {
 				pieceOf[v] = pieces
 				if v == c.Center {
-					root = c.Center
+					root = li
 				}
 			}
-			parent := bfsTree(g, root, mask)
-			for _, v := range members {
-				if pp := parent[v]; pp >= 0 {
-					b.AddEdge(v, pp)
-					tree++
-				}
-			}
-			for _, v := range members {
-				mask[v] = false
-			}
+			tree += pieceTree(b, graph.NewView(g, members), root)
 			pieces++
 		}
 	}
@@ -117,31 +109,38 @@ func Build(g *graph.Graph, p *decomp.Partition) (*Spanner, error) {
 	}, nil
 }
 
-// bfsTree returns the BFS parent of every vertex reachable from root
-// within the mask (-1 for root and unreached vertices).
-func bfsTree(g *graph.Graph, root int, in []bool) map[int]int {
-	parent := map[int]int{root: -1}
-	queue := []int{root}
+// pieceTree adds the BFS-tree edges of one cluster piece to the spanner
+// builder (in original vertex ids) and returns the number added. root is a
+// local view id. Traversal order follows the view's sorted local
+// adjacency, which for ascending member lists coincides with the global
+// neighbor order the pre-view implementation used.
+func pieceTree(b *graph.Builder, view *graph.View, root int) int {
+	n := view.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[root] = -1
+	queue := make([]int32, 1, n)
+	queue[0] = int32(root)
+	added := 0
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, w := range g.Neighbors(u) {
-			wi := int(w)
-			if !in[wi] {
-				continue
+		for _, w := range view.Neighbors(int(u)) {
+			if parent[w] == -2 {
+				parent[w] = u
+				queue = append(queue, w)
+				b.AddEdge(view.Orig(int(w)), view.Orig(int(u)))
+				added++
 			}
-			if _, seen := parent[wi]; seen {
-				continue
-			}
-			parent[wi] = u
-			queue = append(queue, wi)
 		}
 	}
-	return parent
+	return added
 }
 
 // StretchSample estimates the spanner's stretch: the maximum and mean of
 // d_spanner(u,v)/d_G(u,v) over `samples` random connected vertex pairs.
-func (s *Spanner) StretchSample(g *graph.Graph, seed uint64, samples int) (max, mean float64, err error) {
+func (s *Spanner) StretchSample(g graph.Interface, seed uint64, samples int) (max, mean float64, err error) {
 	if g.N() < 2 || samples <= 0 {
 		return 1, 1, nil
 	}
@@ -150,7 +149,7 @@ func (s *Spanner) StretchSample(g *graph.Graph, seed uint64, samples int) (max, 
 	count := 0
 	for i := 0; i < samples; i++ {
 		u := rng.Intn(g.N())
-		dG := g.BFS(u)
+		dG := graph.BFS(g, u)
 		dS := s.G.BFS(u)
 		v := rng.Intn(g.N())
 		if v == u || dG[v] <= 0 {

@@ -15,7 +15,7 @@ import (
 //
 // clusterOf maps each vertex to its cluster id (every vertex must be
 // assigned, ids arbitrary non-negative).
-func BallIntersections(g *graph.Graph, clusterOf []int, w int) (max int, mean float64, err error) {
+func BallIntersections(g graph.Interface, clusterOf []int, w int) (max int, mean float64, err error) {
 	if len(clusterOf) != g.N() {
 		return 0, 0, fmt.Errorf("verify: clusterOf has length %d for %d vertices", len(clusterOf), g.N())
 	}
@@ -33,7 +33,7 @@ func BallIntersections(g *graph.Graph, clusterOf []int, w int) (max int, mean fl
 	total := 0
 	seen := make(map[int]struct{}, 8)
 	for v := 0; v < g.N(); v++ {
-		dist := g.BFSWithin(v, w)
+		dist := graph.BFSWithin(g, v, w)
 		for k := range seen {
 			delete(seen, k)
 		}

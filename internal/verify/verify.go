@@ -67,7 +67,7 @@ func (r *Report) Err() error {
 // requireComplete adds a violation when some vertex is unassigned;
 // requireConnected adds one per cluster that is disconnected in its
 // induced subgraph (mandatory for *strong* decompositions).
-func Decomposition(g *graph.Graph, clusters [][]int, colors []int, requireComplete, requireConnected bool) *Report {
+func Decomposition(g graph.Interface, clusters [][]int, colors []int, requireComplete, requireConnected bool) *Report {
 	return Clustering(g, clusters, colors, requireComplete, requireConnected, true)
 }
 
@@ -76,7 +76,7 @@ func Decomposition(g *graph.Graph, clusters [][]int, colors []int, requireComple
 // of equal color are violations. Low-diameter *partitions* (MPX) carry a
 // single color class and are validated with requireProperColors false;
 // network *decompositions* require true.
-func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete, requireConnected, requireProperColors bool) *Report {
+func Clustering(g graph.Interface, clusters [][]int, colors []int, requireComplete, requireConnected, requireProperColors bool) *Report {
 	r := &Report{ClusterCount: len(clusters)}
 	if len(colors) != len(clusters) {
 		r.Errors = append(r.Errors, fmt.Sprintf("got %d colors for %d clusters", len(colors), len(clusters)))
@@ -121,13 +121,13 @@ func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete,
 
 	// Proper supergraph coloring.
 	if requireProperColors {
-		for _, e := range g.Edges() {
-			cu, cv := owner[e[0]], owner[e[1]]
+		for u, w := range graph.EdgeSeq(g) {
+			cu, cv := owner[u], owner[w]
 			if cu < 0 || cv < 0 || cu == cv {
 				continue
 			}
 			if colors[cu] == colors[cv] {
-				r.Errors = append(r.Errors, fmt.Sprintf("edge {%d,%d} joins clusters %d,%d of equal color %d", e[0], e[1], cu, cv, colors[cu]))
+				r.Errors = append(r.Errors, fmt.Sprintf("edge {%d,%d} joins clusters %d,%d of equal color %d", u, w, cu, cv, colors[cu]))
 			}
 		}
 	}
@@ -139,7 +139,7 @@ func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete,
 		if len(members) == 0 || malformed[ci] {
 			continue
 		}
-		sd, ok := g.SubsetStrongDiameter(members)
+		sd, ok := graph.SubsetStrongDiameter(g, members)
 		if !ok {
 			r.DisconnectedClusters++
 			if requireConnected {
@@ -148,7 +148,7 @@ func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete,
 		} else if sd > r.MaxStrongDiameter {
 			r.MaxStrongDiameter = sd
 		}
-		wd, ok := g.SubsetWeakDiameter(members)
+		wd, ok := graph.SubsetWeakDiameter(g, members)
 		if !ok {
 			r.MaxWeakDiameter = Infinite
 		} else if r.MaxWeakDiameter != Infinite && wd > r.MaxWeakDiameter {
@@ -160,13 +160,13 @@ func Clustering(g *graph.Graph, clusters [][]int, colors []int, requireComplete,
 
 // MIS checks that inSet is a maximal independent set of g: no two set
 // members are adjacent, and every non-member has a member neighbor.
-func MIS(g *graph.Graph, inSet []bool) error {
+func MIS(g graph.Interface, inSet []bool) error {
 	if len(inSet) != g.N() {
 		return fmt.Errorf("verify: MIS vector has length %d for %d vertices", len(inSet), g.N())
 	}
-	for _, e := range g.Edges() {
-		if inSet[e[0]] && inSet[e[1]] {
-			return fmt.Errorf("verify: MIS contains adjacent vertices %d and %d", e[0], e[1])
+	for u, w := range graph.EdgeSeq(g) {
+		if inSet[u] && inSet[w] {
+			return fmt.Errorf("verify: MIS contains adjacent vertices %d and %d", u, w)
 		}
 	}
 	for v := 0; v < g.N(); v++ {
@@ -189,7 +189,7 @@ func MIS(g *graph.Graph, inSet []bool) error {
 
 // Coloring checks that colors is a proper vertex coloring of g using
 // colors in [0, maxColors); maxColors <= 0 skips the range check.
-func Coloring(g *graph.Graph, colors []int, maxColors int) error {
+func Coloring(g graph.Interface, colors []int, maxColors int) error {
 	if len(colors) != g.N() {
 		return fmt.Errorf("verify: coloring has length %d for %d vertices", len(colors), g.N())
 	}
@@ -201,9 +201,9 @@ func Coloring(g *graph.Graph, colors []int, maxColors int) error {
 			return fmt.Errorf("verify: vertex %d uses color %d beyond budget %d", v, c, maxColors)
 		}
 	}
-	for _, e := range g.Edges() {
-		if colors[e[0]] == colors[e[1]] {
-			return fmt.Errorf("verify: edge {%d,%d} monochromatic in color %d", e[0], e[1], colors[e[0]])
+	for u, w := range graph.EdgeSeq(g) {
+		if colors[u] == colors[w] {
+			return fmt.Errorf("verify: edge {%d,%d} monochromatic in color %d", u, w, colors[u])
 		}
 	}
 	return nil
@@ -212,7 +212,7 @@ func Coloring(g *graph.Graph, colors []int, maxColors int) error {
 // Matching checks that mate encodes a maximal matching: mate[v] is v's
 // partner or -1, the relation is symmetric, partners are adjacent, and no
 // edge has two free endpoints.
-func Matching(g *graph.Graph, mate []int) error {
+func Matching(g graph.Interface, mate []int) error {
 	if len(mate) != g.N() {
 		return fmt.Errorf("verify: matching has length %d for %d vertices", len(mate), g.N())
 	}
@@ -229,13 +229,13 @@ func Matching(g *graph.Graph, mate []int) error {
 		if mate[m] != v {
 			return fmt.Errorf("verify: matching asymmetric at %d<->%d", v, m)
 		}
-		if !g.HasEdge(v, m) {
+		if !graph.HasEdge(g, v, m) {
 			return fmt.Errorf("verify: matched pair {%d,%d} is not an edge", v, m)
 		}
 	}
-	for _, e := range g.Edges() {
-		if mate[e[0]] == -1 && mate[e[1]] == -1 {
-			return fmt.Errorf("verify: matching not maximal: edge {%d,%d} has both endpoints free", e[0], e[1])
+	for u, w := range graph.EdgeSeq(g) {
+		if mate[u] == -1 && mate[w] == -1 {
+			return fmt.Errorf("verify: matching not maximal: edge {%d,%d} has both endpoints free", u, w)
 		}
 	}
 	return nil

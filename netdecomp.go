@@ -52,8 +52,19 @@ import (
 	"netdecomp/internal/verify"
 )
 
-// Graph is an immutable simple undirected graph (see internal/graph).
+// Graph is an immutable simple undirected graph in compressed-sparse-row
+// storage (see internal/graph).
 type Graph = graph.Graph
+
+// GraphInterface is the read-only graph contract (N/Degree/Neighbors)
+// accepted by every traversal primitive and decomposition algorithm:
+// *Graph and *GraphView satisfy it, and it is the extension point for
+// custom graph backends.
+type GraphInterface = graph.Interface
+
+// GraphView is a zero-copy induced subgraph of any GraphInterface,
+// renumbered to a dense local id space (see internal/graph.View).
+type GraphView = graph.View
 
 // GraphBuilder accumulates edges into a Graph.
 type GraphBuilder = graph.Builder
@@ -63,6 +74,28 @@ func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// FromEdgeStream builds a graph on n vertices from a replayable edge
+// stream via the two-pass CSR layout (no intermediate edge staging); the
+// stream is invoked exactly twice and must yield identical edges both
+// times.
+func FromEdgeStream(n int, stream func(yield func(u, v int))) *Graph {
+	return graph.FromStream(n, stream)
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices as a
+// zero-copy view, with the local-to-original vertex mapping.
+func InducedSubgraph(g GraphInterface, vertices []int) (*GraphView, []int, error) {
+	return graph.Induced(g, vertices)
+}
+
+// ComponentOf returns the connected component of v as a zero-copy view.
+func ComponentOf(g GraphInterface, v int) *GraphView { return graph.Component(g, v) }
+
+// GraphFingerprint returns the stable 64-bit content digest of any graph
+// backend — equal for structurally identical graphs however they were
+// built — suitable as a cache key for decomposition results.
+func GraphFingerprint(g GraphInterface) uint64 { return graph.Fingerprint(g) }
 
 // Options configures a decomposition run (see core.Options for the full
 // field documentation).
@@ -187,25 +220,25 @@ func AppInputFromDecomposition(dec *Decomposition) (AppInput, error) { return ap
 type MISResult = apps.MISResult
 
 // MIS computes a maximal independent set by the O(D·χ) color-class sweep.
-func MIS(g *Graph, in AppInput) (*MISResult, error) { return apps.MIS(g, in) }
+func MIS(g GraphInterface, in AppInput) (*MISResult, error) { return apps.MIS(g, in) }
 
 // ColoringResult is a (Δ+1)-coloring with distributed cost.
 type ColoringResult = apps.ColoringResult
 
 // Coloring computes a (Δ+1)-vertex-coloring by the color-class sweep.
-func Coloring(g *Graph, in AppInput) (*ColoringResult, error) { return apps.Coloring(g, in) }
+func Coloring(g GraphInterface, in AppInput) (*ColoringResult, error) { return apps.Coloring(g, in) }
 
 // MatchingResult is a maximal matching with distributed cost.
 type MatchingResult = apps.MatchingResult
 
 // Matching computes a maximal matching by the color-class sweep.
-func Matching(g *Graph, in AppInput) (*MatchingResult, error) { return apps.Matching(g, in) }
+func Matching(g GraphInterface, in AppInput) (*MatchingResult, error) { return apps.Matching(g, in) }
 
 // LubyMIS runs Luby's randomized MIS baseline.
-func LubyMIS(g *Graph, seed uint64) (*MISResult, error) { return apps.LubyMIS(g, seed) }
+func LubyMIS(g GraphInterface, seed uint64) (*MISResult, error) { return apps.LubyMIS(g, seed) }
 
 // RandomColoring runs the randomized-trial (Δ+1)-coloring baseline.
-func RandomColoring(g *Graph, seed uint64) (*ColoringResult, error) {
+func RandomColoring(g GraphInterface, seed uint64) (*ColoringResult, error) {
 	return apps.RandomColoring(g, seed)
 }
 
@@ -219,7 +252,7 @@ type Cover = cover.Cover
 
 // BuildCover constructs a W-neighborhood cover of g by decomposing the
 // power graph G^{2W+1} and expanding clusters by W hops ([ABCP92]).
-func BuildCover(g *Graph, o CoverOptions) (*Cover, error) { return cover.Build(g, o) }
+func BuildCover(g GraphInterface, o CoverOptions) (*Cover, error) { return cover.Build(g, o) }
 
 // Spanner is a sparse skeleton subgraph with quality measures.
 type Spanner = spanner.Spanner
@@ -235,12 +268,13 @@ func BuildSpanner(g *Graph, dec *Decomposition) (*Spanner, error) {
 
 // BuildSpannerFrom constructs the skeleton from any complete Partition —
 // weak-diameter partitions are refined into connected pieces first.
-func BuildSpannerFrom(g *Graph, p *Partition) (*Spanner, error) { return spanner.Build(g, p) }
+func BuildSpannerFrom(g GraphInterface, p *Partition) (*Spanner, error) { return spanner.Build(g, p) }
 
 // Graph interchange.
 
-// WriteGraph emits g in the edge-list interchange format.
-func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+// WriteGraph emits g in the edge-list interchange format, streaming the
+// edges (no [][2]int materialization).
+func WriteGraph(w io.Writer, g GraphInterface) error { return graphio.Write(w, g) }
 
 // ReadGraph parses an edge-list graph.
 func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
