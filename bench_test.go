@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"netdecomp"
+	"netdecomp/internal/gen"
 	"netdecomp/internal/harness"
+	"netdecomp/internal/randx"
 )
 
 // benchDriver runs one harness experiment per iteration, varying the seed
@@ -168,4 +170,72 @@ func BenchmarkElkinNeimanE2E2048(b *testing.B) {
 			b.Fatal("incomplete")
 		}
 	}
+}
+
+// --- Hot-path benchmarks -------------------------------------------------
+//
+// Large-scale workloads targeting the two hot loops — the per-phase
+// broadcast simulation (core/phaseRunner.run) and the CONGEST engine
+// (internal/dist) — at sizes where O(n)-per-round scanning and
+// per-envelope mailbox churn dominate. Before/after numbers across the
+// frontier-sparse + arena-mailbox rebuild are recorded in
+// BENCH_hotpath.json; CI regression-gates these with cmd/benchdiff
+// -threshold.
+
+// hotpathRun drives one registry algorithm over a fixed graph, varying the
+// seed per iteration.
+func hotpathRun(b *testing.B, algo string, g netdecomp.GraphInterface, opts ...netdecomp.DecomposeOption) {
+	b.Helper()
+	d := netdecomp.MustGet(algo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := d.Decompose(nil, g, append([]netdecomp.DecomposeOption{netdecomp.WithSeed(uint64(i))}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.N != g.N() {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// BenchmarkHotpathSim65536 is the forced-complete sequential simulation on
+// a 2^16-vertex G(n,p) with average degree ~8.
+func BenchmarkHotpathSim65536(b *testing.B) {
+	g := gen.GnpConnected(randx.New(3), 1<<16, 8.0/float64(1<<16-1))
+	hotpathRun(b, "elkin-neiman", g, netdecomp.WithForceComplete())
+}
+
+// BenchmarkHotpathSim262144 scales the simulation to 2^18 vertices.
+func BenchmarkHotpathSim262144(b *testing.B) {
+	g := gen.GnpConnected(randx.New(4), 1<<18, 8.0/float64(1<<18-1))
+	hotpathRun(b, "elkin-neiman", g, netdecomp.WithForceComplete())
+}
+
+// BenchmarkHotpathDist65536 runs the identical workload as a true node
+// program on the message-passing engine ("elkin-neiman/dist").
+func BenchmarkHotpathDist65536(b *testing.B) {
+	g := gen.GnpConnected(randx.New(3), 1<<16, 8.0/float64(1<<16-1))
+	hotpathRun(b, "elkin-neiman/dist", g, netdecomp.WithForceComplete())
+}
+
+// BenchmarkHotpathMPXDist65536 is the engine-backed MPX partition at 2^16.
+func BenchmarkHotpathMPXDist65536(b *testing.B) {
+	g := gen.GnpConnected(randx.New(3), 1<<16, 8.0/float64(1<<16-1))
+	hotpathRun(b, "mpx/dist", g)
+}
+
+// BenchmarkHotpathGridSim65536 is the simulation on the 256×256 mesh —
+// bounded degree, long phases, late-phase frontiers a tiny fraction of n.
+func BenchmarkHotpathGridSim65536(b *testing.B) {
+	g := gen.Grid(256, 256)
+	hotpathRun(b, "elkin-neiman", g, netdecomp.WithForceComplete())
+}
+
+// BenchmarkHotpathPowerLawDist65536 is the engine run on a 2^16-vertex
+// preferential-attachment graph: hub broadcasts fan out wide while the
+// typical frontier stays small.
+func BenchmarkHotpathPowerLawDist65536(b *testing.B) {
+	g := gen.PowerLaw(randx.New(5), 1<<16, 4)
+	hotpathRun(b, "elkin-neiman/dist", g, netdecomp.WithForceComplete())
 }

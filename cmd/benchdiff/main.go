@@ -12,7 +12,10 @@
 //
 // Exit status is 0 even when benchmarks regressed (the tool informs, CI
 // gates on tests); -threshold makes it exit 1 when some benchmark's ns/op
-// grew by more than the given fraction.
+// grew by more than the given fraction, -allocthreshold does the same for
+// allocs/op, and every offending benchmark is named on stderr. CI runs the
+// gate against BENCH_hotpath.json so hot-path regressions fail the bench
+// job instead of hiding in an artifact.
 package main
 
 import (
@@ -119,6 +122,7 @@ func delta(old, new float64) string {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
 	threshold := flag.Float64("threshold", 0, "exit 1 when some ns/op grows by more than this fraction (0 disables)")
+	allocThreshold := flag.Float64("allocthreshold", 0, "exit 1 when some allocs/op grows by more than this fraction (0 disables)")
 	flag.Parse()
 
 	base, err := loadBaseline(*baselinePath)
@@ -148,7 +152,8 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\n")
-	regressed := false
+	var nsOffenders, allocOffenders []string
+	matched := 0
 	for _, name := range order {
 		cur := current[name]
 		old, ok := base[name]
@@ -156,16 +161,31 @@ func main() {
 			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%.0f\tnew\n", name, cur.NsPerOp, cur.AllocsPerOp)
 			continue
 		}
+		matched++
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\n",
 			name, old.NsPerOp, cur.NsPerOp, delta(old.NsPerOp, cur.NsPerOp),
 			old.AllocsPerOp, cur.AllocsPerOp, delta(old.AllocsPerOp, cur.AllocsPerOp))
 		if *threshold > 0 && old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+*threshold) {
-			regressed = true
+			nsOffenders = append(nsOffenders, fmt.Sprintf("%s (%s ns/op)", name, delta(old.NsPerOp, cur.NsPerOp)))
+		}
+		if *allocThreshold > 0 && old.AllocsPerOp > 0 && cur.AllocsPerOp > old.AllocsPerOp*(1+*allocThreshold) {
+			allocOffenders = append(allocOffenders, fmt.Sprintf("%s (%s allocs/op)", name, delta(old.AllocsPerOp, cur.AllocsPerOp)))
 		}
 	}
 	w.Flush()
-	if regressed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% threshold\n", *threshold*100)
+	if (*threshold > 0 || *allocThreshold > 0) && matched == 0 {
+		// A gate that compared nothing must not pass: this catches a bench
+		// regex that rotted away from the baseline's benchmark names.
+		fmt.Fprintln(os.Stderr, "benchdiff: regression gate enabled but no current benchmark matched the baseline")
+		os.Exit(1)
+	}
+	for _, o := range nsOffenders {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% threshold: %s\n", *threshold*100, o)
+	}
+	for _, o := range allocOffenders {
+		fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regression beyond %.0f%% threshold: %s\n", *allocThreshold*100, o)
+	}
+	if len(nsOffenders)+len(allocOffenders) > 0 {
 		os.Exit(1)
 	}
 }

@@ -36,7 +36,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("netdecomp", flag.ContinueOnError)
 	algo := fs.String("algo", "elkin-neiman", "registry algorithm (elkin-neiman, linial-saks, mpx, mpx/dist, ball-carving, ...)")
-	family := fs.String("family", "gnp", "graph family (gnp, grid, torus, tree, path, cycle, hypercube, regular, ringofcliques, caterpillar, smallworld)")
+	family := fs.String("family", "gnp", "graph family (gnp, grid, torus, tree, path, cycle, hypercube, regular, ringofcliques, caterpillar, smallworld, powerlaw)")
 	input := fs.String("input", "", "read the graph from an edge-list file instead of generating one")
 	n := fs.Int("n", 1024, "approximate number of vertices")
 	k := fs.Int("k", 0, "radius parameter (0 = algorithm default)")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
@@ -98,6 +99,7 @@ func LinialSaksContext(ctx context.Context, g graph.Interface, o LSOptions) (*Pa
 	stamp := make([]int, n)
 	epoch := 0
 	queue := make([]int32, 0, n)
+	joiners := make([]int, 0, n) // reusable per-phase capture worklist
 
 	for phase := 0; aliveCount > 0; phase++ {
 		if phase >= budget && !o.ForceComplete {
@@ -159,31 +161,36 @@ func LinialSaksContext(ctx context.Context, g graph.Interface, o LSOptions) (*Pa
 		}
 
 		// Capture rule: join iff strictly interior to the winning ball.
-		joinedBy := make(map[int][]int)
+		// The joiners are collected into a reusable worklist, grouped by
+		// elected center with one stable sort, and the phase's clusters are
+		// carved out of a single exact-size backing array — replacing the
+		// per-phase map of growing slices (same deterministic order:
+		// centers ascending, members ascending).
+		joiners = joiners[:0]
 		for y := 0; y < n; y++ {
 			if !alive[y] || bestID[y] == -1 {
 				continue
 			}
 			if bestDist[y] < bestR[y] {
-				joinedBy[bestID[y]] = append(joinedBy[bestID[y]], y)
+				joiners = append(joiners, y)
 			}
 		}
-		if len(joinedBy) > 0 {
-			// Deterministic cluster order: by center id.
-			centers := make([]int, 0, len(joinedBy))
-			for c := range joinedBy {
-				centers = append(centers, c)
-			}
-			insertionSortInts(centers)
-			for _, c := range centers {
-				members := joinedBy[c]
-				part.addCluster(members, c, phase, part.Colors)
-				aliveCount -= len(members)
-			}
-			for _, c := range centers {
-				for _, y := range joinedBy[c] {
-					alive[y] = false
+		if len(joiners) > 0 {
+			sort.SliceStable(joiners, func(i, j int) bool { return bestID[joiners[i]] < bestID[joiners[j]] })
+			members := make([]int, len(joiners))
+			copy(members, joiners)
+			for lo := 0; lo < len(members); {
+				hi := lo
+				c := bestID[members[lo]]
+				for hi < len(members) && bestID[members[hi]] == c {
+					hi++
 				}
+				part.addCluster(members[lo:hi:hi], c, phase, part.Colors)
+				aliveCount -= hi - lo
+				lo = hi
+			}
+			for _, y := range members {
+				alive[y] = false
 			}
 			part.Colors++
 		}

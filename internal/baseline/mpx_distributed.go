@@ -49,6 +49,9 @@ type mpxProgram struct {
 	winner  []int
 	value   []float64
 	changed []bool
+	// outBuf[v] is v's reusable outbox, borrowed by the engine until
+	// commit (see dist.Program) and recycled on v's next Step.
+	outBuf [][]dist.Envelope[MPXMsg]
 }
 
 func newMPXProgram(g graph.Interface, delta []float64) *mpxProgram {
@@ -58,8 +61,21 @@ func newMPXProgram(g graph.Interface, delta []float64) *mpxProgram {
 		winner:  make([]int, n),
 		value:   make([]float64, n),
 		changed: make([]bool, n),
+		outBuf:  make([][]dist.Envelope[MPXMsg], n),
 	}
+	// Carve every node's outbox out of one flat arena with capacity equal
+	// to its degree (the exact fan-out of a broadcast step), so the whole
+	// run performs no per-Step outbox allocation at all.
+	total := 0
 	for v := 0; v < n; v++ {
+		total += g.Degree(v)
+	}
+	arena := make([]dist.Envelope[MPXMsg], total)
+	off := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		p.outBuf[v] = arena[off : off : off+d]
+		off += d
 		p.winner[v] = v
 		p.value[v] = delta[v]
 		p.changed[v] = true
@@ -94,10 +110,11 @@ func (p *mpxProgram) Step(node, round int, in []dist.Envelope[MPXMsg]) ([]dist.E
 		return nil, halt
 	}
 	msg := MPXMsg{Center: int32(p.winner[node]), Value: p.value[node] - 1}
-	var out []dist.Envelope[MPXMsg]
+	out := p.outBuf[node][:0]
 	for _, w := range p.g.Neighbors(node) {
 		out = append(out, dist.Envelope[MPXMsg]{From: node, To: int(w), Payload: msg})
 	}
+	p.outBuf[node] = out
 	return out, halt
 }
 
@@ -148,17 +165,30 @@ func MPXOnEngine(ctx context.Context, g graph.Interface, o MPXOptions, engineOpt
 		return nil, metrics, fmt.Errorf("baseline: MPX engine execution failed: %w", err)
 	}
 
-	byCenter := make(map[int][]int, n/4+1)
-	for y := 0; y < n; y++ {
-		byCenter[p.winner[y]] = append(byCenter[p.winner[y]], y)
+	// Group vertices into clusters by elected center with one counting
+	// pass (winners are vertex ids, so the buckets are dense): members
+	// land ascending within each center and the centers are walked
+	// ascending, carved out of one backing array — the same two-pass
+	// count/fill trick the engine's mailboxes and the core cluster
+	// assembly use, replacing a map of growing per-center slices.
+	offsets := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		offsets[p.winner[v]+1]++
 	}
-	centers := make([]int, 0, len(byCenter))
-	for c := range byCenter {
-		centers = append(centers, c)
+	for c := 0; c < n; c++ {
+		offsets[c+1] += offsets[c]
 	}
-	insertionSortInts(centers)
-	for _, c := range centers {
-		res.addCluster(byCenter[c], c, 0, 0)
+	members := make([]int, n)
+	cursor := make([]int, n)
+	copy(cursor, offsets[:n])
+	for v := 0; v < n; v++ {
+		members[cursor[p.winner[v]]] = v
+		cursor[p.winner[v]]++
+	}
+	for c := 0; c < n; c++ {
+		if lo, hi := offsets[c], offsets[c+1]; lo < hi {
+			res.addCluster(members[lo:hi:hi], c, 0, 0)
+		}
 	}
 	res.Colors = 1
 	res.PhasesUsed = 1

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
@@ -51,7 +52,17 @@ type program struct {
 	radius      []float64
 	joinedPhase []int // -1 while unclustered
 	center      []int
-	deadNbr     []map[int32]struct{}
+
+	// nbrAlive[nbrOff[v]+i] reports whether v's i-th neighbor is still in
+	// the surviving graph: one flat arena aligned with the adjacency rows,
+	// so Step(node, ...) writes only node's own window and the parallel
+	// scheduler stays race-free.
+	nbrOff   []int64
+	nbrAlive []bool
+
+	// outBuf[v] is v's reusable outbox, borrowed by the engine until
+	// commit (see dist.Program) and recycled on v's next Step.
+	outBuf [][]dist.Envelope[Msg]
 }
 
 func newProgram(g graph.Interface, o Options, s schedule) *program {
@@ -70,14 +81,43 @@ func newProgram(g graph.Interface, o Options, s schedule) *program {
 		radius:      make([]float64, n),
 		joinedPhase: make([]int, n),
 		center:      make([]int, n),
-		deadNbr:     make([]map[int32]struct{}, n),
+		nbrOff:      make([]int64, n+1),
+		outBuf:      make([][]dist.Envelope[Msg], n),
 	}
 	for v := 0; v < n; v++ {
 		p.joinedPhase[v] = -1
 		p.center[v] = none
-		p.deadNbr[v] = make(map[int32]struct{})
+		p.nbrOff[v+1] = p.nbrOff[v] + int64(g.Degree(v))
+	}
+	p.nbrAlive = make([]bool, p.nbrOff[n])
+	for i := range p.nbrAlive {
+		p.nbrAlive[i] = true
+	}
+	// Carve every node's outbox out of one flat arena with capacity equal
+	// to its degree (the exact fan-out of a broadcast or departure step),
+	// so no Step ever allocates an outbox.
+	arena := make([]dist.Envelope[Msg], p.nbrOff[n])
+	for v := 0; v < n; v++ {
+		lo, hi := p.nbrOff[v], p.nbrOff[v+1]
+		p.outBuf[v] = arena[lo:lo:hi]
 	}
 	return p
+}
+
+// aliveRow returns node's window of the flat neighbor-liveness arena,
+// parallel to g.Neighbors(node).
+func (p *program) aliveRow(node int) []bool {
+	return p.nbrAlive[p.nbrOff[node]:p.nbrOff[node+1]]
+}
+
+// markDeparted records that neighbor from left the surviving graph, by
+// binary search in node's sorted adjacency row.
+func (p *program) markDeparted(node, from int) {
+	row := p.g.Neighbors(node)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(from) })
+	if i < len(row) && row[i] == int32(from) {
+		p.nbrAlive[p.nbrOff[node]+int64(i)] = false
+	}
 }
 
 // NumNodes implements dist.Program.
@@ -113,8 +153,9 @@ func (p *program) sendEntries(node int, out []dist.Envelope[Msg]) []dist.Envelop
 	if msg.NumEntries == 0 {
 		return out
 	}
-	for _, w := range p.g.Neighbors(node) {
-		if _, dead := p.deadNbr[node][w]; dead {
+	alive := p.aliveRow(node)
+	for i, w := range p.g.Neighbors(node) {
+		if !alive[i] {
 			continue
 		}
 		out = append(out, dist.Envelope[Msg]{From: node, To: int(w), Payload: msg})
@@ -154,7 +195,7 @@ func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelop
 		// Departures from the previous phase's joiners arrive now.
 		for _, env := range in {
 			if env.Payload.Depart {
-				p.deadNbr[node][int32(env.From)] = struct{}{}
+				p.markDeparted(node, env.From)
 			}
 		}
 		if phase >= p.maxPhases {
@@ -165,16 +206,19 @@ func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelop
 		p.radius[node] = randx.Exp(rng, p.beta(phase))
 		p.state[node].reset()
 		p.state[node].merge(node, p.radius[node])
-		return p.sendEntries(node, nil), false
+		out := p.sendEntries(node, p.outBuf[node][:0])
+		p.outBuf[node] = out
+		return out, false
 	}
 
 	changed := p.mergeInbox(node, in)
 
 	if sub < p.sched.k {
-		var out []dist.Envelope[Msg]
-		if changed {
-			out = p.sendEntries(node, out)
+		if !changed {
+			return nil, false
 		}
+		out := p.sendEntries(node, p.outBuf[node][:0])
+		p.outBuf[node] = out
 		return out, false
 	}
 
@@ -182,13 +226,15 @@ func (p *program) Step(node, round int, in []dist.Envelope[Msg]) ([]dist.Envelop
 	if p.state[node].joins() {
 		p.joinedPhase[node] = phase
 		p.center[node] = p.state[node].c1
-		var out []dist.Envelope[Msg]
-		for _, w := range p.g.Neighbors(node) {
-			if _, dead := p.deadNbr[node][w]; dead {
+		out := p.outBuf[node][:0]
+		alive := p.aliveRow(node)
+		for i, w := range p.g.Neighbors(node) {
+			if !alive[i] {
 				continue
 			}
 			out = append(out, dist.Envelope[Msg]{From: node, To: int(w), Payload: Msg{Depart: true}})
 		}
+		p.outBuf[node] = out
 		return out, true
 	}
 	return nil, false
@@ -271,14 +317,30 @@ func RunDistributedWithMetrics(ctx context.Context, g graph.Interface, o Options
 	if unjoined > 0 && n > 0 {
 		phasesExecuted = p.maxPhases
 	}
+	// Bucket joiners by phase with one counting pass (ascending ids within
+	// each bucket, subslices of one backing array) instead of rescanning
+	// all n vertices per phase.
+	offsets := make([]int, phasesExecuted+1)
+	for v := 0; v < n; v++ {
+		if ph := p.joinedPhase[v]; ph >= 0 {
+			offsets[ph+1]++
+		}
+	}
+	for ph := 0; ph < phasesExecuted; ph++ {
+		offsets[ph+1] += offsets[ph]
+	}
+	joinedAll := make([]int, n-unjoined)
+	cursor := make([]int, phasesExecuted)
+	copy(cursor, offsets[:phasesExecuted])
+	for v := 0; v < n; v++ {
+		if ph := p.joinedPhase[v]; ph >= 0 {
+			joinedAll[cursor[ph]] = v
+			cursor[ph]++
+		}
+	}
 	alive := n
 	for phase := 0; phase < phasesExecuted; phase++ {
-		var joined []int
-		for v := 0; v < n; v++ {
-			if p.joinedPhase[v] == phase {
-				joined = append(joined, v)
-			}
-		}
+		joined := joinedAll[offsets[phase]:offsets[phase+1]]
 		dec.AlivePerPhase = append(dec.AlivePerPhase, alive)
 		if len(joined) > 0 {
 			dec.buildClusters(g, joined, p.center, phase, dec.Colors)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sort"
+	"sync"
 
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
@@ -36,7 +38,10 @@ func beats(m float64, c int, vi float64, ci int) bool {
 // merge folds the value m for center c into the top-two state and reports
 // whether the state changed. Values for a center already present can only
 // be superseded by larger ones (shorter paths), but the merge is written to
-// be correct under any arrival order.
+// be correct under any arrival order. Because merges only ever improve the
+// state and ties break by center id, the final state — and therefore the
+// whole phase — is independent of delivery order, which is what lets the
+// sharded parallel mode below stay bit-identical to the sequential loop.
 func (t *topTwo) merge(c int, m float64) bool {
 	switch c {
 	case t.c1:
@@ -85,7 +90,7 @@ func (t *topTwo) joins() bool {
 // phaseResult is the outcome of a single phase.
 type phaseResult struct {
 	joined      []int // vertices that joined the block, ascending
-	centers     []int // centers[v] = chosen center for joined v, else -1
+	centers     []int // centers[v] = chosen center for joined v (stale for dead vertices)
 	rounds      int
 	messages    int64
 	words       int64
@@ -93,33 +98,88 @@ type phaseResult struct {
 	truncations int // draws with r_v >= k+1 (events E_v)
 }
 
+// parallelThreshold is the frontier size below which the sharded parallel
+// round falls back to the sequential loop: tiny frontiers don't amortize
+// the goroutine barrier. The outputs are bit-identical either way, so the
+// switch is free to be heuristic (a variable so tests can force the
+// parallel path on small graphs).
+var parallelThreshold = 2048
+
+// shardScratch is one receiver-shard's private accumulator in the parallel
+// round: traffic counters and the shard's slice of the next frontier.
+type shardScratch struct {
+	msgs, words int64
+	maxw        int
+	next        []int32
+}
+
+// sendMsg is a frontier vertex's frozen broadcast for one round: up to two
+// (center, value ≥ 1) entries.
+type sendMsg struct {
+	k      int32
+	c1, c2 int32
+	v1, v2 float64
+}
+
 // phaseRunner holds reusable scratch for the per-phase simulation so that a
 // multi-phase run performs O(1) allocations per phase.
+//
+// The simulation is frontier-sparse: instead of scanning all n vertices
+// every round, it keeps an explicit worklist of the vertices whose top-two
+// state changed in the previous round (exactly the vertices the algorithm
+// obliges to send) and a per-phase compacted CSR view of the surviving
+// graph, so one round costs O(frontier + messages delivered) — the
+// activity the paper's analysis charges — rather than O(n).
 type phaseRunner struct {
 	g graph.Interface
 	n int
 
 	radius  []float64 // exponential draws of the current phase
 	state   []topTwo
-	snap    []topTwo // frozen copy for synchronous-round semantics
-	changed []bool   // state changed last round → must send this round
-	dirty   []bool   // scratch: state changed this round
+	snap    []topTwo // frozen sender states (valid on frontier entries only)
+	dirty   []bool   // already on the next frontier
 	centers []int
+
+	frontier []int32 // vertices that must send this round, ascending
+	next     []int32
+
+	// Compacted CSR over the surviving graph, rebuilt once per phase: the
+	// alive-neighbor filter is paid once instead of on every round's every
+	// edge. rowOf[v] indexes rowStart for alive v (stale for dead ones,
+	// which never appear on a frontier).
+	rowOf    []int32
+	rowStart []int64
+	cAdj     []int32
+
+	// Optional deterministic parallel mode: receiver-sharded rounds with
+	// ascending-id merges, mirroring the dist scheduler's bit-identical
+	// contract. Zero values mean sequential.
+	parallel bool
+	workers  int
+	sendBuf  []sendMsg
+	shards   []shardScratch
 }
 
 // newPhaseRunner allocates scratch for graphs on n vertices.
 func newPhaseRunner(g graph.Interface) *phaseRunner {
 	n := g.N()
 	return &phaseRunner{
-		g:       g,
-		n:       n,
-		radius:  make([]float64, n),
-		state:   make([]topTwo, n),
-		snap:    make([]topTwo, n),
-		changed: make([]bool, n),
-		dirty:   make([]bool, n),
-		centers: make([]int, n),
+		g:        g,
+		n:        n,
+		radius:   make([]float64, n),
+		state:    make([]topTwo, n),
+		snap:     make([]topTwo, n),
+		dirty:    make([]bool, n),
+		centers:  make([]int, n),
+		rowOf:    make([]int32, n),
+		rowStart: make([]int64, 0, n+1),
 	}
+}
+
+// row returns alive vertex v's compacted (alive-filtered) adjacency row.
+func (p *phaseRunner) row(v int) []int32 {
+	ri := p.rowOf[v]
+	return p.cAdj[p.rowStart[ri]:p.rowStart[ri+1]]
 }
 
 // drawRadii samples r_v ~ Exp(beta) for every alive vertex from its
@@ -138,91 +198,103 @@ func drawRadii(seed uint64, phase int, alive []bool, beta float64, into []float6
 	}
 }
 
+// drawRadiiSparse is drawRadii restricted to the alive vertices: entries of
+// dead vertices are left stale and must not be read (RunWith reconstructs
+// zeroed trace copies itself).
+func drawRadiiSparse(seed uint64, phase int, aliveList []int32, beta float64, into []float64) {
+	for _, v := range aliveList {
+		rng := randx.Derive(seed, uint64(phase), uint64(v))
+		into[v] = randx.Exp(rng, beta)
+	}
+}
+
 // run executes one phase on the surviving graph: the synchronous top-two
 // broadcast for the given number of rounds, then the join rule. alive is
 // not modified. radius must already contain the draws for this phase.
+//
+// It is a compatibility wrapper over runSparse that derives the ascending
+// alive worklist from the mask; callers that maintain the worklist across
+// phases (RunWith) use runSparse directly.
+func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)) phaseResult {
+	list := make([]int32, 0, p.n)
+	for v := 0; v < p.n; v++ {
+		if alive[v] {
+			list = append(list, int32(v))
+		}
+	}
+	return p.runSparse(alive, list, rounds, emit)
+}
+
+// runSparse is the frontier-sparse phase simulation. aliveList must hold
+// exactly the vertices with alive[v] == true, ascending.
 //
 // Each round, every vertex whose top-two list changed in the previous round
 // sends its (up to two) entries with value ≥ 1 to every alive neighbor;
 // receivers fold the entries in decremented by one (one more hop). This
 // value gating implements exactly the ⌊r_v⌋-ball broadcast: a value
 // arriving at distance d from its center is r_v − d ≥ 0 iff d ≤ ⌊r_v⌋.
+// The send obligation is tracked as an explicit worklist (the frontier);
+// everything a round does is proportional to that frontier and the
+// messages it delivers, never to n.
 //
 // When emit is non-nil it is called once per budgeted broadcast round with
 // that round's message/word traffic (zeros for rounds after the broadcast
 // went quiet), and one final time for the phase's decision round carrying
 // the departure notifications — mirroring the k+1 sub-round structure of
 // the engine execution.
-func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)) phaseResult {
+func (p *phaseRunner) runSparse(alive []bool, aliveList []int32, rounds int, emit func(msgs, words int64)) phaseResult {
 	var res phaseResult
 	res.rounds = rounds
 
-	for v := 0; v < p.n; v++ {
+	// Per-phase init: reset state, seed every alive vertex onto the round-0
+	// frontier, and compact the surviving graph's adjacency (hoisting the
+	// alive-neighbor filter out of the round loop).
+	p.frontier = p.frontier[:0]
+	p.rowStart = p.rowStart[:0]
+	p.cAdj = p.cAdj[:0]
+	for _, v32 := range aliveList {
+		v := int(v32)
 		p.state[v].reset()
-		p.changed[v] = false
+		p.state[v].merge(v, p.radius[v])
 		p.dirty[v] = false
 		p.centers[v] = none
-		if alive[v] {
-			p.state[v].merge(v, p.radius[v])
-			p.changed[v] = true
+		p.frontier = append(p.frontier, v32)
+		p.rowOf[v] = int32(len(p.rowStart))
+		p.rowStart = append(p.rowStart, int64(len(p.cAdj)))
+		for _, w := range p.g.Neighbors(v) {
+			if alive[w] {
+				p.cAdj = append(p.cAdj, w)
+			}
 		}
 	}
+	p.rowStart = append(p.rowStart, int64(len(p.cAdj)))
 
-	type entry struct {
-		c int
-		m float64
-	}
-	var buf [2]entry
 	emitted := 0
 	for round := 0; round < rounds; round++ {
-		// Freeze the sending state so a value moves one hop per round.
-		copy(p.snap, p.state)
-		sentAny := false
-		roundMsgs, roundWords := res.messages, res.words
-		for v := 0; v < p.n; v++ {
-			if !alive[v] || !p.changed[v] {
-				continue
-			}
-			s := &p.snap[v]
-			k := 0
-			if s.c1 != none && s.v1 >= 1 {
-				buf[k] = entry{s.c1, s.v1}
-				k++
-			}
-			if s.c2 != none && s.v2 >= 1 {
-				buf[k] = entry{s.c2, s.v2}
-				k++
-			}
-			if k == 0 {
-				continue
-			}
-			words := 2 * k
-			for _, w := range p.g.Neighbors(v) {
-				if !alive[w] {
-					continue
-				}
-				res.messages++
-				res.words += int64(words)
-				if words > res.maxMsgWords {
-					res.maxMsgWords = words
-				}
-				for i := 0; i < k; i++ {
-					if p.state[w].merge(buf[i].c, buf[i].m-1) {
-						p.dirty[w] = true
-					}
-				}
-				sentAny = true
-			}
+		// Freeze the sending states so a value moves one hop per round.
+		for _, v := range p.frontier {
+			p.snap[v] = p.state[v]
 		}
-		p.changed, p.dirty = p.dirty, p.changed
-		for v := range p.dirty {
-			p.dirty[v] = false
+		roundMsgs, roundWords := res.messages, res.words
+		if p.parallel && p.workers > 1 && len(p.frontier) >= parallelThreshold {
+			p.roundParallel(&res)
+		} else {
+			p.roundSequential(&res)
+		}
+		// The next frontier is kept in discovery order: top-two merges are
+		// order-independent (see merge) and every per-round statistic is a
+		// sum or max, so no observable output depends on the iteration
+		// order and sorting it would only burn the cycles the worklist
+		// just saved. The dirty flags keep it duplicate-free.
+		p.frontier, p.next = p.next, p.frontier[:0]
+		for _, w := range p.frontier {
+			p.dirty[w] = false
 		}
 		if emit != nil {
 			emit(res.messages-roundMsgs, res.words-roundWords)
 			emitted++
 		}
-		if !sentAny {
+		if res.messages == roundMsgs {
 			// All broadcasts have gone quiet; the remaining rounds would
 			// carry no messages. They still count toward the round budget,
 			// which res.rounds already reflects.
@@ -235,10 +307,9 @@ func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)
 		}
 	}
 
-	for v := 0; v < p.n; v++ {
-		if !alive[v] {
-			continue
-		}
+	res.joined = res.joined[:0]
+	for _, v32 := range aliveList {
+		v := int(v32)
 		if p.state[v].joins() {
 			res.joined = append(res.joined, v)
 			p.centers[v] = p.state[v].c1
@@ -248,15 +319,13 @@ func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)
 
 	// Departure notifications: each newly clustered vertex tells its alive
 	// neighbors it is leaving G_t (one word each), which is how survivors
-	// know the next phase's topology.
+	// know the next phase's topology. The compacted row is exactly the
+	// alive neighborhood, so its length is the fan-out.
 	departMsgs, departWords := res.messages, res.words
 	for _, v := range res.joined {
-		for _, w := range p.g.Neighbors(v) {
-			if alive[w] {
-				res.messages++
-				res.words++
-			}
-		}
+		deg := int64(len(p.row(v)))
+		res.messages += deg
+		res.words += deg
 	}
 	if res.maxMsgWords == 0 && len(res.joined) > 0 {
 		res.maxMsgWords = 1
@@ -269,12 +338,159 @@ func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)
 	return res
 }
 
+// loadSend reads vertex v's frozen broadcast for this round; ok is false
+// when nothing meets the value ≥ 1 forwarding gate.
+func (p *phaseRunner) loadSend(v int) (m sendMsg, ok bool) {
+	s := &p.snap[v]
+	if s.c1 != none && s.v1 >= 1 {
+		m.c1, m.v1 = int32(s.c1), s.v1
+		m.k = 1
+	}
+	if s.c2 != none && s.v2 >= 1 {
+		if m.k == 1 {
+			m.c2, m.v2 = int32(s.c2), s.v2
+			m.k = 2
+		} else {
+			m.c1, m.v1 = int32(s.c2), s.v2
+			m.k = 1
+		}
+	}
+	return m, m.k > 0
+}
+
+// roundSequential delivers one round's frontier broadcasts in ascending
+// sender order, collecting the next frontier in discovery order.
+func (p *phaseRunner) roundSequential(res *phaseResult) {
+	next := p.next
+	for _, v32 := range p.frontier {
+		v := int(v32)
+		m, ok := p.loadSend(v)
+		if !ok {
+			continue
+		}
+		words := int(2 * m.k)
+		for _, w := range p.row(v) {
+			res.messages++
+			res.words += int64(words)
+			if words > res.maxMsgWords {
+				res.maxMsgWords = words
+			}
+			changed := p.state[w].merge(int(m.c1), m.v1-1)
+			if m.k == 2 && p.state[w].merge(int(m.c2), m.v2-1) {
+				changed = true
+			}
+			if changed && !p.dirty[w] {
+				p.dirty[w] = true
+				next = append(next, w)
+			}
+		}
+	}
+	p.next = next
+}
+
+// roundParallel is the deterministic parallel round: receivers are
+// partitioned into contiguous id ranges (one shard per worker), every
+// worker walks the whole frontier in ascending sender order and delivers
+// only into its own range (found by binary search in the sorted compacted
+// rows). Shards own disjoint receiver state, so there are no write races;
+// every shard's work is a pure function of the frozen snapshot, so the
+// outcome is independent of scheduling and worker count — and, because
+// top-two merges are order-independent, bit-identical to the sequential
+// round.
+func (p *phaseRunner) roundParallel(res *phaseResult) {
+	workers := p.workers
+	if p.shards == nil {
+		p.shards = make([]shardScratch, workers)
+	} else if len(p.shards) < workers {
+		p.shards = append(p.shards, make([]shardScratch, workers-len(p.shards))...)
+	}
+	// Freeze each frontier vertex's outgoing message once, rather than
+	// once per shard.
+	p.sendBuf = p.sendBuf[:0]
+	for _, v32 := range p.frontier {
+		m, _ := p.loadSend(int(v32))
+		p.sendBuf = append(p.sendBuf, m)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo := int32(int64(s) * int64(p.n) / int64(workers))
+			hi := int32(int64(s+1) * int64(p.n) / int64(workers))
+			sh := &p.shards[s]
+			sh.msgs, sh.words, sh.maxw = 0, 0, 0
+			sh.next = sh.next[:0]
+			for fi, v32 := range p.frontier {
+				m := p.sendBuf[fi]
+				if m.k == 0 {
+					continue
+				}
+				row := p.row(int(v32))
+				// Rows are sorted, so a two-compare span check skips the
+				// binary searches for senders with no receiver in this
+				// shard — the common case on low-degree graphs, where it
+				// keeps the per-worker frontier walk near O(frontier).
+				if len(row) == 0 || row[len(row)-1] < lo || row[0] >= hi {
+					continue
+				}
+				a := sort.Search(len(row), func(i int) bool { return row[i] >= lo })
+				b := sort.Search(len(row), func(i int) bool { return row[i] >= hi })
+				if a == b {
+					continue
+				}
+				words := int(2 * m.k)
+				if words > sh.maxw {
+					sh.maxw = words
+				}
+				sh.msgs += int64(b - a)
+				sh.words += int64(b-a) * int64(words)
+				for _, w := range row[a:b] {
+					changed := p.state[w].merge(int(m.c1), m.v1-1)
+					if m.k == 2 && p.state[w].merge(int(m.c2), m.v2-1) {
+						changed = true
+					}
+					if changed && !p.dirty[w] {
+						p.dirty[w] = true
+						sh.next = append(sh.next, w)
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	next := p.next
+	for s := 0; s < workers; s++ {
+		sh := &p.shards[s]
+		res.messages += sh.msgs
+		res.words += sh.words
+		if sh.maxw > res.maxMsgWords {
+			res.maxMsgWords = sh.maxw
+		}
+		next = append(next, sh.next...)
+	}
+	p.next = next
+}
+
 // countTruncations counts alive vertices whose draw meets or exceeds k+1 —
 // the events E_v of Lemma 1.
 func countTruncations(alive []bool, radius []float64, k int) int {
 	t := 0
 	for v, r := range radius {
 		if alive[v] && r >= float64(k)+1 {
+			t++
+		}
+	}
+	return t
+}
+
+// countTruncationsSparse is countTruncations over the alive worklist.
+func countTruncationsSparse(aliveList []int32, radius []float64, k int) int {
+	t := 0
+	for _, v := range aliveList {
+		if radius[v] >= float64(k)+1 {
 			t++
 		}
 	}
@@ -290,6 +506,17 @@ func maxFlooredRadius(alive []bool, radius []float64) int {
 			if fl := int(math.Floor(r)); fl > max {
 				max = fl
 			}
+		}
+	}
+	return max
+}
+
+// maxFlooredRadiusSparse is maxFlooredRadius over the alive worklist.
+func maxFlooredRadiusSparse(aliveList []int32, radius []float64) int {
+	max := 0
+	for _, v := range aliveList {
+		if fl := int(math.Floor(radius[v])); fl > max {
+			max = fl
 		}
 	}
 	return max

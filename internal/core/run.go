@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
@@ -23,6 +24,14 @@ type Exec struct {
 	// across phases — the same k+1 sub-round structure the engine path
 	// reports through dist.Options.Observer.
 	Observer func(dist.RoundStats)
+	// Parallel executes each broadcast round on a receiver-sharded worker
+	// pool. The result is bit-identical to the sequential simulation for
+	// any worker count — the same contract the dist engine's schedulers
+	// honor — so this is purely a wall-clock knob for large graphs.
+	Parallel bool
+	// Workers caps the worker pool of the parallel mode; 0 or negative
+	// means GOMAXPROCS. Ignored unless Parallel is set.
+	Workers int
 }
 
 // ctx returns the effective context.
@@ -73,12 +82,21 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 	}
 
 	alive := make([]bool, n)
+	aliveList := make([]int32, n)
 	for v := range alive {
 		alive[v] = true
+		aliveList[v] = int32(v)
 	}
 	aliveCount := n
 
 	runner := newPhaseRunner(g)
+	if x.Parallel {
+		runner.parallel = true
+		runner.workers = x.Workers
+		if runner.workers <= 0 {
+			runner.workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	// ForceComplete may run past the theorem budget; this guard turns a
 	// (probability ~0) runaway into an error instead of a hang.
 	maxPhases := sched.budget
@@ -117,13 +135,13 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 		}
 		dec.AlivePerPhase = append(dec.AlivePerPhase, aliveCount)
 
-		drawRadii(o2.Seed, phase, alive, beta, runner.radius)
-		dec.TruncationEvents += countTruncations(alive, runner.radius, sched.k)
+		drawRadiiSparse(o2.Seed, phase, aliveList, beta, runner.radius)
+		dec.TruncationEvents += countTruncationsSparse(aliveList, runner.radius, sched.k)
 		rounds := sched.k
 		if o2.RadiusMode == RadiusExact {
-			rounds = maxFlooredRadius(alive, runner.radius)
+			rounds = maxFlooredRadiusSparse(aliveList, runner.radius)
 		}
-		res := runner.run(alive, rounds, emit)
+		res := runner.runSparse(alive, aliveList, rounds, emit)
 
 		dec.Rounds += res.rounds
 		dec.Messages += res.messages
@@ -132,12 +150,22 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 			dec.MaxMsgWords = res.maxMsgWords
 		}
 		if dec.Trace != nil {
+			// The runner only maintains alive entries of radius and
+			// centers; rebuild the dense per-phase views the trace pins
+			// (dead vertices: radius 0, center none).
 			aliveCopy := make([]bool, n)
 			copy(aliveCopy, alive)
 			radiusCopy := make([]float64, n)
-			copy(radiusCopy, runner.radius)
+			for _, v := range aliveList {
+				radiusCopy[v] = runner.radius[v]
+			}
 			centerCopy := make([]int, n)
-			copy(centerCopy, res.centers)
+			for v := range centerCopy {
+				centerCopy[v] = none
+			}
+			for _, v := range res.joined {
+				centerCopy[v] = res.centers[v]
+			}
 			dec.Trace.Alive = append(dec.Trace.Alive, aliveCopy)
 			dec.Trace.Radius = append(dec.Trace.Radius, radiusCopy)
 			dec.Trace.Center = append(dec.Trace.Center, centerCopy)
@@ -151,6 +179,14 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 				alive[v] = false
 			}
 			aliveCount -= len(res.joined)
+			k := 0
+			for _, v := range aliveList {
+				if alive[v] {
+					aliveList[k] = v
+					k++
+				}
+			}
+			aliveList = aliveList[:k]
 		}
 		dec.PhasesUsed++
 	}

@@ -66,7 +66,12 @@ func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, g
 			p.Metrics = metrics
 			return p, nil
 		}
-		dec, err := core.RunWith(g, o, core.Exec{Ctx: ctx, Observer: cfg.Observer})
+		dec, err := core.RunWith(g, o, core.Exec{
+			Ctx:      ctx,
+			Observer: cfg.Observer,
+			Parallel: cfg.Parallel,
+			Workers:  cfg.Workers,
+		})
 		if err != nil {
 			return nil, err
 		}

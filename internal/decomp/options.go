@@ -34,9 +34,12 @@ type Config struct {
 	// engine instead of the sequential simulation ("elkin-neiman/dist"
 	// forces this).
 	Engine bool
-	// Parallel / Workers select the engine's goroutine-pool scheduler
-	// (engine-backed algorithms only). Setting them via WithScheduler also
-	// sets Engine.
+	// Parallel / Workers select deterministic parallel execution: the
+	// goroutine-pool scheduler for engine-backed runs, the
+	// receiver-sharded parallel rounds for the sequential Elkin–Neiman
+	// simulation. Either way the result is bit-identical to the sequential
+	// execution for any worker count. Setting them via WithScheduler also
+	// sets Engine; WithParallel leaves the execution path alone.
 	Parallel bool
 	Workers  int
 	// Observer streams per-round traffic statistics as the run executes.
@@ -96,6 +99,17 @@ func WithScheduler(parallel bool, workers int) Option {
 	return func(c *Config) {
 		c.Engine = true
 		c.Parallel = parallel
+		c.Workers = workers
+	}
+}
+
+// WithParallel enables deterministic parallel execution on whichever path
+// the algorithm runs (engine scheduler or simulation rounds) without
+// forcing the engine; workers caps the pool (0 = GOMAXPROCS). Results are
+// bit-identical to sequential execution.
+func WithParallel(workers int) Option {
+	return func(c *Config) {
+		c.Parallel = true
 		c.Workers = workers
 	}
 }

@@ -10,6 +10,12 @@
 // messages to be delivered in round r+1. Mailboxes are double-buffered, so
 // a Step never observes a message sent in its own round.
 //
+// Delivery is arena-backed: each round's messages live in one flat
+// envelope buffer with per-node rows laid out by a two-pass count/fill
+// commit, and a compact live-node list keeps every per-round cost —
+// stepping, commit, mailbox reset — proportional to the nodes still
+// running and the messages actually sent, never to the total node count.
+//
 // The engine is deliberately algorithm-agnostic. A program implements
 //
 //	NumNodes() int
@@ -58,6 +64,13 @@ type Envelope[M WordCounter] struct {
 // outbox for this round and whether the node halts. A halted node is never
 // stepped again; messages addressed to it are still accounted but silently
 // dropped, exactly as a real network delivers into a stopped process.
+//
+// The returned outbox is borrowed by the engine until the end of the
+// round's commit, which copies the envelopes into the delivery arena.
+// After that the program owns the slice again: Step(node, ...) may reuse
+// the same backing array on node's next call (out = buf[node][:0]) instead
+// of allocating a fresh outbox every round. The engine never mutates a
+// borrowed outbox and never reads it after commit.
 //
 // For the parallel scheduler to be safe, Step(node, ...) must touch only
 // state owned by node (concurrent Step calls always target distinct

@@ -9,9 +9,52 @@ import (
 )
 
 // chunk is the unit of work the parallel scheduler hands to a worker: a
-// contiguous block of node ids. Chunking amortizes the atomic fetch-add
-// across many Step calls while still balancing skewed per-node work.
+// contiguous block of live-list positions. Chunking amortizes the atomic
+// fetch-add across many Step calls while still balancing skewed per-node
+// work.
 const chunk = 64
+
+// mailbox is one side of the double-buffered mailboxes: every envelope
+// delivered in a round lives in one flat arena, with per-node rows
+// addressed by (start, cnt). Rows are laid out by a two-pass count/fill
+// commit — the same trick as the CSR graph builder — so a round of any
+// traffic costs zero per-node allocations once the arena has grown to its
+// high-water mark, and resetting between rounds touches only the nodes
+// that actually received something.
+type mailbox[M WordCounter] struct {
+	arena []Envelope[M]
+	start []int64 // per node: fill cursor; one past the row's end after commit
+	cnt   []int32 // per node: row length
+	// touched lists the nodes with cnt > 0, in first-touch (ascending
+	// sender commit) order — the reset set and the row layout order.
+	touched []int32
+}
+
+func newMailbox[M WordCounter](n int) mailbox[M] {
+	return mailbox[M]{start: make([]int64, n), cnt: make([]int32, n)}
+}
+
+// inbox returns node v's delivered row. The fill pass leaves start[v] one
+// past the row's end, so the row is the cnt[v] envelopes before it. The
+// slice is capped: a program appending to its inbox cannot corrupt a
+// neighbor's row.
+func (mb *mailbox[M]) inbox(v int) []Envelope[M] {
+	c := int64(mb.cnt[v])
+	if c == 0 {
+		return nil
+	}
+	end := mb.start[v]
+	return mb.arena[end-c : end : end]
+}
+
+// reset clears last round's rows in O(touched) and recycles the arena.
+func (mb *mailbox[M]) reset() {
+	for _, v := range mb.touched {
+		mb.cnt[v] = 0
+	}
+	mb.touched = mb.touched[:0]
+	mb.arena = mb.arena[:0]
+}
 
 // engine is the per-run state shared by both schedulers.
 type engine[M WordCounter] struct {
@@ -20,15 +63,21 @@ type engine[M WordCounter] struct {
 	n int
 
 	halted []bool
-	live   int
+	// live holds the ids of the nodes that have not halted, ascending. It
+	// is compacted in place as nodes halt, so stepping, commit and the
+	// mailbox machinery never scan halted nodes — a run in which 99% of
+	// the nodes halt in round 1 pays for the survivors only from round 2 on.
+	live []int32
 
-	// cur[v] is v's inbox for the round being executed; nxt[v] collects
-	// the messages to deliver next round. The two swap every round, so a
-	// Step only ever sees messages sent in the previous round.
-	cur, nxt [][]Envelope[M]
+	// cur holds the inboxes for the round being executed; nxt collects the
+	// rows to deliver next round. The two swap every round, so a Step only
+	// ever sees messages sent in the previous round.
+	cur, nxt mailbox[M]
 
-	// outs[v] is the outbox Step returned for v this round, committed to
-	// nxt in ascending node order so both schedulers route identically.
+	// outs[v] is the outbox Step returned for v this round. It is borrowed
+	// from the program until commit copies the envelopes into the arena
+	// (see Program), committed in ascending node order so both schedulers
+	// route identically.
 	outs  [][]Envelope[M]
 	halts []bool
 
@@ -56,25 +105,28 @@ func Run[M WordCounter](ctx context.Context, p Program[M], o Options) (Metrics, 
 		o:      o,
 		n:      n,
 		halted: make([]bool, n),
-		live:   n,
-		cur:    make([][]Envelope[M], n),
-		nxt:    make([][]Envelope[M], n),
+		live:   make([]int32, n),
+		cur:    newMailbox[M](n),
+		nxt:    newMailbox[M](n),
 		outs:   make([][]Envelope[M], n),
 		halts:  make([]bool, n),
+	}
+	for v := range e.live {
+		e.live[v] = int32(v)
 	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	for round := 0; e.live > 0; round++ {
+	for round := 0; len(e.live) > 0; round++ {
 		if err := ctx.Err(); err != nil {
 			return e.metrics, err
 		}
 		if o.MaxRounds > 0 && round >= o.MaxRounds {
-			return e.metrics, fmt.Errorf("dist: %d of %d nodes still live after the %d-round limit", e.live, n, o.MaxRounds)
+			return e.metrics, fmt.Errorf("dist: %d of %d nodes still live after the %d-round limit", len(e.live), n, o.MaxRounds)
 		}
-		active := e.live
+		active := len(e.live)
 		if o.Parallel && workers > 1 {
 			e.stepParallel(round, workers)
 		} else {
@@ -89,18 +141,16 @@ func Run[M WordCounter](ctx context.Context, p Program[M], o Options) (Metrics, 
 
 // stepSequential runs every live node's Step for the round in node order.
 func (e *engine[M]) stepSequential(round int) {
-	for v := 0; v < e.n; v++ {
-		if e.halted[v] {
-			continue
-		}
-		e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur[v])
+	for _, lv := range e.live {
+		v := int(lv)
+		e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur.inbox(v))
 	}
 }
 
 // stepParallel runs the round's Steps on a goroutine pool. Workers claim
-// contiguous chunks of node ids off a shared counter; every result lands
-// in the stepping node's own slot, so the subsequent ordered commit is
-// independent of which worker ran which node — the source of the
+// contiguous chunks of live-list positions off a shared counter; every
+// result lands in the stepping node's own slot, so the subsequent ordered
+// commit is independent of which worker ran which node — the source of the
 // bit-identical contract with the sequential scheduler.
 func (e *engine[M]) stepParallel(round, workers int) {
 	var next atomic.Int64
@@ -111,18 +161,16 @@ func (e *engine[M]) stepParallel(round, workers int) {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(chunk)) - chunk
-				if lo >= e.n {
+				if lo >= len(e.live) {
 					return
 				}
 				hi := lo + chunk
-				if hi > e.n {
-					hi = e.n
+				if hi > len(e.live) {
+					hi = len(e.live)
 				}
-				for v := lo; v < hi; v++ {
-					if e.halted[v] {
-						continue
-					}
-					e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur[v])
+				for _, lv := range e.live[lo:hi] {
+					v := int(lv)
+					e.outs[v], e.halts[v] = e.p.Step(v, round, e.cur.inbox(v))
 				}
 			}
 		}()
@@ -133,13 +181,20 @@ func (e *engine[M]) stepParallel(round, workers int) {
 // commit validates and routes the round's outboxes in ascending node
 // order, applies halts, accounts the metrics, and swaps the mailbox
 // buffers for the next round.
+//
+// Routing is the two-pass count/fill layout: pass one validates every
+// envelope, accounts it and counts each receiver's row; then the rows are
+// laid out back to back in one arena (in first-touch order) and pass two
+// copies the envelopes in. Because both passes walk senders in ascending
+// node order, every receiver sees its messages in exactly the arrival
+// order the per-node append mailboxes used to produce.
 func (e *engine[M]) commit(round, active int) error {
 	var msgs, words int64
-	for v := 0; v < e.n; v++ {
-		if e.halted[v] {
-			continue
-		}
-		for _, env := range e.outs[v] {
+	nxt := &e.nxt
+	for _, lv := range e.live {
+		v := int(lv)
+		for i := range e.outs[v] {
+			env := &e.outs[v][i]
 			if env.To < 0 || env.To >= e.n {
 				return fmt.Errorf("dist: node %d sent a message to out-of-range node %d in round %d (n=%d)", v, env.To, round, e.n)
 			}
@@ -153,16 +208,46 @@ func (e *engine[M]) commit(round, active int) error {
 				e.metrics.MaxMessageWords = w
 			}
 			// Delivery to an already-halted node is counted (the sender
-			// paid for it) but dropped: nothing will step to read it.
-			e.nxt[env.To] = append(e.nxt[env.To], env)
+			// paid for it) but its row is simply never read.
+			if nxt.cnt[env.To] == 0 {
+				nxt.touched = append(nxt.touched, int32(env.To))
+			}
+			nxt.cnt[env.To]++
 		}
-		e.outs[v] = nil
+	}
+	if int64(cap(nxt.arena)) < msgs {
+		nxt.arena = make([]Envelope[M], msgs)
+	} else {
+		nxt.arena = nxt.arena[:msgs]
+	}
+	off := int64(0)
+	for _, tv := range nxt.touched {
+		nxt.start[tv] = off
+		off += int64(nxt.cnt[tv])
+	}
+	for _, lv := range e.live {
+		v := int(lv)
+		for _, env := range e.outs[v] {
+			nxt.arena[nxt.start[env.To]] = env
+			nxt.start[env.To]++
+		}
+		// The borrow ends here: the program may reuse the outbox's backing
+		// array from its next Step on. The stale reference is overwritten
+		// by that Step (or dropped below on halt).
+	}
+	k := 0
+	for _, lv := range e.live {
+		v := int(lv)
 		if e.halts[v] {
 			e.halted[v] = true
 			e.halts[v] = false
-			e.live--
+			e.outs[v] = nil
+		} else {
+			e.live[k] = lv
+			k++
 		}
 	}
+	e.live = e.live[:k]
 	e.metrics.Rounds++
 	e.metrics.Messages += msgs
 	e.metrics.Words += words
@@ -178,11 +263,9 @@ func (e *engine[M]) commit(round, active int) error {
 	if e.o.Observer != nil {
 		e.o.Observer(stats)
 	}
-	// Swap mailboxes; the delivered round's inboxes become next round's
-	// (emptied) collection buffers.
-	for v := range e.cur {
-		e.cur[v] = e.cur[v][:0]
-	}
+	// Swap mailboxes; the delivered round's rows become next round's
+	// (recycled) arena.
+	e.cur.reset()
 	e.cur, e.nxt = e.nxt, e.cur
 	return nil
 }

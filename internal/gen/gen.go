@@ -294,6 +294,40 @@ func Barbell(s, bridgeLen int) *graph.Graph {
 	})
 }
 
+// PowerLaw returns a Barabási–Albert preferential-attachment graph on n
+// vertices: vertex v (v ≥ 1) attaches min(m, v) edges to earlier vertices
+// chosen proportionally to their current degree (by sampling the flat
+// endpoint list of the edges laid so far). The resulting degree sequence is
+// heavy-tailed — a few hubs of very high degree over a low-degree bulk —
+// which is the adversarial profile for frontier-sparse simulation: hub
+// broadcasts touch huge neighborhoods while most rounds move tiny
+// frontiers. The graph is connected by construction (every vertex attaches
+// to an earlier one).
+func PowerLaw(rng *randx.SplitMix64, n, m int) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	return graph.FromStream(n, replayable(rng, func(yield func(u, v int)) {
+		// Flat multiset of edge endpoints; sampling it uniformly is
+		// degree-proportional sampling. Rebuilt per pass, replayed by rng.
+		targets := make([]int32, 0, 2*m*n)
+		for v := 1; v < n; v++ {
+			deg := m
+			if v < m {
+				deg = v
+			}
+			for e := 0; e < deg; e++ {
+				w := 0
+				if len(targets) > 0 {
+					w = int(targets[rng.Intn(len(targets))])
+				}
+				yield(v, w) // duplicates are deduped by the CSR builder
+				targets = append(targets, int32(w), int32(v))
+			}
+		}
+	}))
+}
+
 // WattsStrogatz returns a small-world ring lattice on n vertices where each
 // vertex connects to its k nearest ring neighbors and every edge is
 // rewired to a random endpoint with probability beta.
@@ -339,6 +373,7 @@ const (
 	FamilyRingOfCliques
 	FamilyCaterpillar
 	FamilySmallWorld
+	FamilyPowerLaw
 )
 
 // String returns the canonical CLI name of the family.
@@ -366,6 +401,8 @@ func (f Family) String() string {
 		return "caterpillar"
 	case FamilySmallWorld:
 		return "smallworld"
+	case FamilyPowerLaw:
+		return "powerlaw"
 	default:
 		return fmt.Sprintf("family(%d)", int(f))
 	}
@@ -373,7 +410,7 @@ func (f Family) String() string {
 
 // ParseFamily converts a CLI name into a Family.
 func ParseFamily(s string) (Family, error) {
-	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+	for f := FamilyGnp; f <= FamilyPowerLaw; f++ {
 		if f.String() == s {
 			return f, nil
 		}
@@ -421,6 +458,8 @@ func Build(f Family, n int, seed uint64) (*graph.Graph, error) {
 		return Caterpillar(spine, legs), nil
 	case FamilySmallWorld:
 		return WattsStrogatz(rng, n, 6, 0.1), nil
+	case FamilyPowerLaw:
+		return PowerLaw(rng, n, 4), nil
 	default:
 		return nil, fmt.Errorf("gen: unknown graph family %v", f)
 	}

@@ -217,8 +217,30 @@ func TestWattsStrogatz(t *testing.T) {
 	}
 }
 
+func TestPowerLaw(t *testing.T) {
+	g := PowerLaw(randx.New(9), 500, 4)
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("preferential-attachment graph disconnected")
+	}
+	// Every vertex v >= 1 attaches min(4, v) edges, some of which collide
+	// and are deduped; the edge count must land between the tree lower
+	// bound and the attachment upper bound.
+	if g.M() < g.N()-1 || g.M() > 4*g.N() {
+		t.Fatalf("m=%d out of range for n=%d, m0=4", g.M(), g.N())
+	}
+	// Heavy tail: the busiest hub must dominate the mean degree by a wide
+	// margin (for BA with m0=4 the max degree grows like sqrt(n)).
+	mean := 2 * float64(g.M()) / float64(g.N())
+	if max := g.MaxDegree(); float64(max) < 4*mean {
+		t.Fatalf("max degree %d not heavy-tailed (mean %.1f)", max, mean)
+	}
+}
+
 func TestFamilyRoundTrip(t *testing.T) {
-	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+	for f := FamilyGnp; f <= FamilyPowerLaw; f++ {
 		parsed, err := ParseFamily(f.String())
 		if err != nil {
 			t.Fatalf("ParseFamily(%q): %v", f.String(), err)
@@ -233,7 +255,7 @@ func TestFamilyRoundTrip(t *testing.T) {
 }
 
 func TestBuildAllFamilies(t *testing.T) {
-	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+	for f := FamilyGnp; f <= FamilyPowerLaw; f++ {
 		g, err := Build(f, 256, 42)
 		if err != nil {
 			t.Fatalf("Build(%v): %v", f, err)
@@ -254,7 +276,7 @@ func TestBuildUnknownFamily(t *testing.T) {
 }
 
 func TestBuildDeterministic(t *testing.T) {
-	for f := FamilyGnp; f <= FamilySmallWorld; f++ {
+	for f := FamilyGnp; f <= FamilyPowerLaw; f++ {
 		a, err := Build(f, 200, 11)
 		if err != nil {
 			t.Fatal(err)
