@@ -239,3 +239,71 @@ func BenchmarkHotpathPowerLawDist65536(b *testing.B) {
 	g := gen.PowerLaw(randx.New(5), 1<<16, 4)
 	hotpathRun(b, "elkin-neiman/dist", g, netdecomp.WithForceComplete())
 }
+
+// --- Session benchmarks -------------------------------------------------
+//
+// The serving-layer pair: the cache-hit path (one fingerprint lookup plus
+// a defensive Partition.Clone — the per-request cost a warm deployment
+// pays) against the cold-miss path (a full decomposition per request).
+// Before/after-free absolute numbers are recorded in BENCH_session.json;
+// CI gates the hit path with cmd/benchdiff so it stays allocation-light.
+
+// BenchmarkSessionCacheHit serves the identical (graph, plan, seed) job
+// from a warm session: every iteration must be a cache hit.
+func BenchmarkSessionCacheHit(b *testing.B) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(6), 2048, 8.0/2047)
+	s := netdecomp.NewSession()
+	defer s.Close()
+	pl, err := netdecomp.Compile("elkin-neiman",
+		netdecomp.WithSeed(7), netdecomp.WithForceComplete())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(nil, pl, g); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Run(nil, pl, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Hits != uint64(b.N) {
+		b.Fatalf("expected %d hits, stats %+v", b.N, st)
+	}
+}
+
+// BenchmarkSessionColdMiss varies the seed every iteration, so each job
+// misses and runs a full decomposition through the session machinery —
+// the denominator that shows what a hit saves.
+func BenchmarkSessionColdMiss(b *testing.B) {
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(6), 2048, 8.0/2047)
+	s := netdecomp.NewSession()
+	defer s.Close()
+	pl, err := netdecomp.Compile("elkin-neiman",
+		netdecomp.WithSeed(7), netdecomp.WithForceComplete())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Run(nil, pl.WithSeed(uint64(i)+1000), g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Hits != 0 {
+		b.Fatalf("expected no hits, stats %+v", st)
+	}
+}

@@ -2,6 +2,8 @@ package netdecomp_test
 
 import (
 	"bytes"
+	"context"
+	"reflect"
 	"testing"
 
 	"netdecomp"
@@ -153,5 +155,88 @@ func TestFacadeViewDecompose(t *testing.T) {
 	})
 	if netdecomp.GraphFingerprint(rebuilt) != netdecomp.GraphFingerprint(g) {
 		t.Fatal("stream rebuild changed the fingerprint")
+	}
+}
+
+// TestFacadePlanSession exercises the Plan/Session exports end to end:
+// compile, direct plan run, session serving with cache hits, the batch
+// API, and derived structures riding the session cache.
+func TestFacadePlanSession(t *testing.T) {
+	ctx := context.Background()
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(31), 300, 0.02)
+
+	pl, err := netdecomp.Compile("elkin-neiman",
+		netdecomp.WithSeed(4), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := netdecomp.RunPlan(ctx, pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := netdecomp.MustGet("elkin-neiman").Decompose(ctx, g,
+		netdecomp.WithSeed(4), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, oneShot) {
+		t.Fatal("Compile+RunPlan differs from one-shot Decompose")
+	}
+
+	s := netdecomp.NewSession(netdecomp.WithSessionWorkers(2),
+		netdecomp.WithSessionCacheSize(16))
+	defer s.Close()
+	cold, err := s.Run(ctx, pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Submit(ctx, pl, g)
+	warmP, err := warm.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit() {
+		t.Error("second identical job was not a cache hit")
+	}
+	if !reflect.DeepEqual(cold, warmP) || !reflect.DeepEqual(cold, direct) {
+		t.Error("session results differ from direct plan run")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	reqs := []netdecomp.SessionRequest{
+		{Plan: pl, Graph: g},
+		{Plan: pl.WithSeed(5), Graph: g},
+	}
+	seen := 0
+	for res := range s.SubmitAll(ctx, reqs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		seen++
+	}
+	if seen != len(reqs) {
+		t.Fatalf("SubmitAll delivered %d results, want %d", seen, len(reqs))
+	}
+
+	sp, err := netdecomp.BuildSpannerFromPlan(ctx, g, s, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Edges == 0 {
+		t.Error("empty spanner")
+	}
+	before := s.Stats().Misses
+	if _, err := netdecomp.BuildCover(g, netdecomp.CoverOptions{W: 1, K: 3, Seed: 2, Session: s}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdecomp.BuildCover(g, netdecomp.CoverOptions{W: 1, K: 3, Seed: 2, Session: s}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Misses != before+1 {
+		t.Errorf("repeated cover build re-decomposed: misses %d -> %d (want one new miss, then a hit)",
+			before, after.Misses)
 	}
 }

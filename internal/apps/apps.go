@@ -54,6 +54,11 @@ func FromCore(dec *core.Decomposition) (Input, error) {
 // input, so MIS, coloring and matching run on every registered algorithm's
 // output.
 //
+// The returned Input owns its member lists: they are copies, not aliases
+// of the Partition's slices, so a caller that later mutates the Partition
+// (or the Partition's producer) cannot corrupt a retained Input, and vice
+// versa.
+//
 // The color-class sweep requires a proper supergraph coloring. Partitions
 // that do not carry one (MPX, whose single color class is shared by
 // adjacent clusters) are recolored greedily: clusters are first-fit
@@ -66,8 +71,11 @@ func FromPartition(g graph.Interface, p *decomp.Partition) (Input, error) {
 		return Input{}, fmt.Errorf("apps: partition incomplete (%d vertices unassigned); decompose with WithForceComplete", len(p.Unassigned()))
 	}
 	in := Input{
-		Clusters: p.MemberLists(),
+		Clusters: make([][]int, len(p.Clusters)),
 		Colors:   p.ClusterColors(),
+	}
+	for i := range p.Clusters {
+		in.Clusters[i] = append([]int(nil), p.Clusters[i].Members...)
 	}
 	if !p.ProperColors {
 		in.Colors = greedySupergraphColors(g, p)

@@ -24,6 +24,7 @@ import (
 
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/session"
 )
 
 // Options configures a cover construction.
@@ -44,6 +45,11 @@ type Options struct {
 	// needs a proper supergraph coloring, which every decomposition
 	// algorithm provides (MPX does not).
 	Algorithm string
+	// Session, when non-nil, executes the power-graph decomposition
+	// through the given serving session, so repeated cover builds on the
+	// same graph and parameters are served from its result cache instead
+	// of re-decomposing.
+	Session *session.Session
 }
 
 // Cover is a W-neighborhood cover with its quality measures.
@@ -83,7 +89,12 @@ func BuildContext(ctx context.Context, g graph.Interface, o Options) (*Cover, er
 	if algorithm == "" {
 		algorithm = "elkin-neiman"
 	}
-	d, err := decomp.Get(algorithm)
+	pl, err := decomp.Compile(algorithm,
+		decomp.WithK(o.K),
+		decomp.WithC(o.C),
+		decomp.WithSeed(o.Seed),
+		decomp.WithForceComplete(),
+	)
 	if err != nil {
 		return nil, fmt.Errorf("cover: %w", err)
 	}
@@ -91,12 +102,12 @@ func BuildContext(ctx context.Context, g graph.Interface, o Options) (*Cover, er
 	if err != nil {
 		return nil, err
 	}
-	p, err := d.Decompose(ctx, h,
-		decomp.WithK(o.K),
-		decomp.WithC(o.C),
-		decomp.WithSeed(o.Seed),
-		decomp.WithForceComplete(),
-	)
+	var p *decomp.Partition
+	if o.Session != nil {
+		p, err = o.Session.Run(ctx, pl, h)
+	} else {
+		p, err = pl.Run(ctx, h)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cover: decomposing power graph: %w", err)
 	}

@@ -74,6 +74,13 @@ type Cluster struct {
 // baseline.MPXResult: clusters with colors, a completeness flag, the
 // diameter mode the algorithm bounds, and the CONGEST cost metrics of the
 // execution that produced it.
+//
+// Ownership: the Cluster member slices and ClusterOf belong to the
+// Partition (the converters below may share them with the producing
+// algorithm's own result, never with other Partitions). Consumers that
+// retain them beyond a call must copy — apps.FromPartition copies, and the
+// session cache hands out Clone()s — and a caller that mutates them
+// forfeits every derived structure. Use Clone for an independent copy.
 type Partition struct {
 	// Algorithm is the registry name of the producing algorithm.
 	Algorithm string
@@ -108,6 +115,23 @@ type Partition struct {
 	// different clusters.
 	CutEdges    int
 	CutFraction float64
+}
+
+// Clone returns a deep copy of the partition: the clusters, every member
+// slice and the vertex assignment are freshly allocated, so mutating the
+// copy (or the original) cannot corrupt the other. The session result
+// cache returns clones for exactly this reason.
+func (p *Partition) Clone() *Partition {
+	cp := *p
+	cp.Clusters = make([]Cluster, len(p.Clusters))
+	for i := range p.Clusters {
+		c := p.Clusters[i]
+		c.Members = append([]int(nil), c.Members...)
+		cp.Clusters[i] = c
+	}
+	cp.ClusterOf = append([]int(nil), p.ClusterOf...)
+	cp.Metrics.PerRound = append([]dist.RoundStats(nil), p.Metrics.PerRound...)
+	return &cp
 }
 
 // ColorOf returns the color class of vertex v, or -1 if v is unassigned.

@@ -83,6 +83,21 @@ func TestGoldenPartitions(t *testing.T) {
 			if want[key] != got {
 				t.Errorf("%q: %#016x, // digest mismatch, want %#016x", key, got, want[key])
 			}
+			// The compile/execute split must reproduce the same digests:
+			// Compile + Plan.Run is the path Decompose now shims onto, and
+			// the session layer serves (internal/session runs the same
+			// golden inputs through a warm Session in its own tests).
+			pl, err := Compile(algo, WithSeed(7), WithForceComplete())
+			if err != nil {
+				t.Fatalf("%s on %s: compile: %v", algo, in.name, err)
+			}
+			pp, err := pl.Run(context.Background(), g)
+			if err != nil {
+				t.Fatalf("%s on %s: plan run: %v", algo, in.name, err)
+			}
+			if got := partitionDigest(pp); want[key] != got {
+				t.Errorf("%q via Plan.Run: %#016x, want %#016x", key, got, want[key])
+			}
 		}
 	}
 }

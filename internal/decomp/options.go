@@ -118,3 +118,11 @@ func WithParallel(workers int) Option {
 func WithObserver(fn func(dist.RoundStats)) Option {
 	return func(c *Config) { c.Observer = fn }
 }
+
+// WithConfig replaces the whole Config with an already-resolved one. It is
+// how a compiled Plan drives Decomposers that do not implement
+// ConfigRunner: the plan's validated Config is carried through the option
+// list verbatim. Options appearing after WithConfig still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}

@@ -33,13 +33,25 @@ type Func struct {
 // Name implements Decomposer.
 func (f Func) Name() string { return f.AlgorithmName }
 
-// Decompose implements Decomposer: it resolves the options and delegates
-// to Run with a non-nil context.
+// Decompose implements Decomposer as a thin compile-then-run shim: the
+// one-shot call is literally CompileDecomposer followed by Plan.Run, so
+// both entry points share one validation and execution path and produce
+// bit-identical Partitions.
 func (f Func) Decompose(ctx context.Context, g graph.Interface, opts ...Option) (*Partition, error) {
+	p, err := CompileDecomposer(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx, g)
+}
+
+// DecomposeConfig implements ConfigRunner: it executes directly from a
+// resolved Config, the fast path Plan.Run takes.
+func (f Func) DecomposeConfig(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return f.Run(ctx, g, Apply(opts))
+	return f.Run(ctx, g, cfg)
 }
 
 var (

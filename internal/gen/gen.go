@@ -376,93 +376,139 @@ const (
 	FamilyPowerLaw
 )
 
-// String returns the canonical CLI name of the family.
-func (f Family) String() string {
-	switch f {
-	case FamilyGnp:
-		return "gnp"
-	case FamilyGrid:
-		return "grid"
-	case FamilyTorus:
-		return "torus"
-	case FamilyTree:
-		return "tree"
-	case FamilyPath:
-		return "path"
-	case FamilyCycle:
-		return "cycle"
-	case FamilyHypercube:
-		return "hypercube"
-	case FamilyRegular:
-		return "regular"
-	case FamilyRingOfCliques:
-		return "ringofcliques"
-	case FamilyCaterpillar:
-		return "caterpillar"
-	case FamilySmallWorld:
-		return "smallworld"
-	case FamilyPowerLaw:
-		return "powerlaw"
-	default:
-		return fmt.Sprintf("family(%d)", int(f))
-	}
+// Constructor builds a connected graph of about n vertices, deterministic
+// in seed.
+type Constructor func(n int, seed uint64) (*graph.Graph, error)
+
+// familySpec registers one family: its enum value, CLI name and default
+// constructor (the family-specific shape parameters live in the closure).
+type familySpec struct {
+	fam   Family
+	name  string
+	build Constructor
 }
 
-// ParseFamily converts a CLI name into a Family.
-func ParseFamily(s string) (Family, error) {
-	for f := FamilyGnp; f <= FamilyPowerLaw; f++ {
-		if f.String() == s {
-			return f, nil
+// familyTable is the name-keyed registry behind Families, ParseFamily and
+// Build — the gen counterpart of the decomp algorithm registry, so sweep
+// drivers enumerate workloads the same way they enumerate algorithms.
+var familyTable = []familySpec{
+	{FamilyGnp, "gnp", func(n int, seed uint64) (*graph.Graph, error) {
+		// Average degree about 8, plus a backbone for connectivity.
+		p := 8.0 / float64(max(n-1, 1))
+		return GnpConnected(randx.New(seed), n, p), nil
+	}},
+	{FamilyGrid, "grid", func(n int, _ uint64) (*graph.Graph, error) {
+		side := intSqrt(n)
+		return Grid(side, side), nil
+	}},
+	{FamilyTorus, "torus", func(n int, _ uint64) (*graph.Graph, error) {
+		side := intSqrt(n)
+		return Torus(side, side), nil
+	}},
+	{FamilyTree, "tree", func(n int, seed uint64) (*graph.Graph, error) {
+		return RandomTree(randx.New(seed), n), nil
+	}},
+	{FamilyPath, "path", func(n int, _ uint64) (*graph.Graph, error) {
+		return Path(n), nil
+	}},
+	{FamilyCycle, "cycle", func(n int, _ uint64) (*graph.Graph, error) {
+		return Cycle(n), nil
+	}},
+	{FamilyHypercube, "hypercube", func(n int, _ uint64) (*graph.Graph, error) {
+		dim := 0
+		for 1<<(dim+1) <= n {
+			dim++
+		}
+		return Hypercube(dim), nil
+	}},
+	{FamilyRegular, "regular", func(n int, seed uint64) (*graph.Graph, error) {
+		return RandomRegular(randx.New(seed), n, 6), nil
+	}},
+	{FamilyRingOfCliques, "ringofcliques", func(n int, _ uint64) (*graph.Graph, error) {
+		s := 8
+		k := max(n/s, 1)
+		return RingOfCliques(k, s), nil
+	}},
+	{FamilyCaterpillar, "caterpillar", func(n int, _ uint64) (*graph.Graph, error) {
+		legs := 3
+		spine := max(n/(legs+1), 1)
+		return Caterpillar(spine, legs), nil
+	}},
+	{FamilySmallWorld, "smallworld", func(n int, seed uint64) (*graph.Graph, error) {
+		return WattsStrogatz(randx.New(seed), n, 6, 0.1), nil
+	}},
+	{FamilyPowerLaw, "powerlaw", func(n int, seed uint64) (*graph.Graph, error) {
+		return PowerLaw(randx.New(seed), n, 4), nil
+	}},
+}
+
+// Families enumerates every registered family in table (document) order —
+// the workload-side analogue of decomp.Names, used by sweep drivers.
+func Families() []Family {
+	out := make([]Family, len(familyTable))
+	for i, s := range familyTable {
+		out[i] = s.fam
+	}
+	return out
+}
+
+// FamilyNames returns the CLI names of every registered family in table
+// order.
+func FamilyNames() []string {
+	out := make([]string, len(familyTable))
+	for i, s := range familyTable {
+		out[i] = s.name
+	}
+	return out
+}
+
+// lookup returns the registration of f, or nil.
+func (f Family) lookup() *familySpec {
+	for i := range familyTable {
+		if familyTable[i].fam == f {
+			return &familyTable[i]
 		}
 	}
-	return 0, fmt.Errorf("gen: unknown graph family %q", s)
+	return nil
+}
+
+// String returns the canonical CLI name of the family.
+func (f Family) String() string {
+	if s := f.lookup(); s != nil {
+		return s.name
+	}
+	return fmt.Sprintf("family(%d)", int(f))
+}
+
+// Constructor returns the family's default workload constructor.
+func (f Family) Constructor() (Constructor, error) {
+	s := f.lookup()
+	if s == nil {
+		return nil, fmt.Errorf("gen: unknown graph family %v", f)
+	}
+	return s.build, nil
+}
+
+// ParseFamily converts a CLI name into a Family. The error lists the known
+// names, so a typo in a flag is self-diagnosing.
+func ParseFamily(s string) (Family, error) {
+	for _, spec := range familyTable {
+		if spec.name == s {
+			return spec.fam, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown graph family %q (known: %v)", s, FamilyNames())
 }
 
 // Build constructs a connected graph of about n vertices from the given
 // family, using sensible family-specific shape parameters. It is the
 // one-stop workload constructor used by the harness and CLIs.
 func Build(f Family, n int, seed uint64) (*graph.Graph, error) {
-	rng := randx.New(seed)
-	switch f {
-	case FamilyGnp:
-		// Average degree about 8, plus a backbone for connectivity.
-		p := 8.0 / float64(max(n-1, 1))
-		return GnpConnected(rng, n, p), nil
-	case FamilyGrid:
-		side := intSqrt(n)
-		return Grid(side, side), nil
-	case FamilyTorus:
-		side := intSqrt(n)
-		return Torus(side, side), nil
-	case FamilyTree:
-		return RandomTree(rng, n), nil
-	case FamilyPath:
-		return Path(n), nil
-	case FamilyCycle:
-		return Cycle(n), nil
-	case FamilyHypercube:
-		dim := 0
-		for 1<<(dim+1) <= n {
-			dim++
-		}
-		return Hypercube(dim), nil
-	case FamilyRegular:
-		return RandomRegular(rng, n, 6), nil
-	case FamilyRingOfCliques:
-		s := 8
-		k := max(n/s, 1)
-		return RingOfCliques(k, s), nil
-	case FamilyCaterpillar:
-		legs := 3
-		spine := max(n/(legs+1), 1)
-		return Caterpillar(spine, legs), nil
-	case FamilySmallWorld:
-		return WattsStrogatz(rng, n, 6, 0.1), nil
-	case FamilyPowerLaw:
-		return PowerLaw(rng, n, 4), nil
-	default:
-		return nil, fmt.Errorf("gen: unknown graph family %v", f)
+	build, err := f.Constructor()
+	if err != nil {
+		return nil, err
 	}
+	return build(n, seed)
 }
 
 // intSqrt returns the integer square root of n.

@@ -48,14 +48,18 @@ func T9Applications(cfg Config) (*Table, error) {
 		}
 		k := int(math.Ceil(math.Log(float64(g.N()))))
 		for _, algo := range t9Algorithms {
-			d := decomp.MustGet(algo)
+			// Compile once per algorithm; the trial loop derives per-seed
+			// plans and runs them through the shared serving session.
+			pl, err := decomp.Compile(algo,
+				decomp.WithK(k), decomp.WithC(8), decomp.WithForceComplete())
+			if err != nil {
+				return nil, err
+			}
 			var dMax, chiMean, dchi, misR, colR, matR, lubyR, randR []float64
 			valid := true
 			for i := 0; i < trials; i++ {
 				seed := cfg.Seed + uint64(i)*431
-				p, err := d.Decompose(ctx, g,
-					decomp.WithK(k), decomp.WithC(8), decomp.WithSeed(seed),
-					decomp.WithForceComplete())
+				p, err := runPlan(ctx, pl.WithSeed(seed), g)
 				if err != nil {
 					return nil, err
 				}

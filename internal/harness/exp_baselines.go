@@ -23,8 +23,6 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 	n := pick(cfg, 384, 2048)
 	trials := cfg.trials(3, 10)
 	families := []gen.Family{gen.FamilyGnp, gen.FamilyGrid, gen.FamilyRingOfCliques}
-	en := decomp.MustGet("elkin-neiman")
-	ls := decomp.MustGet("linial-saks")
 	t := &Table{
 		ID:    "T5",
 		Title: fmt.Sprintf("Elkin–Neiman vs Linial–Saks (n≈%d, k=⌈ln n⌉, %d trials)", n, trials),
@@ -38,14 +36,22 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		k := int(math.Ceil(math.Log(float64(g.N()))))
+		// One compile per contender; the seed sweep derives per-trial plans
+		// and every execution goes through the shared serving session.
+		opts := []decomp.Option{decomp.WithK(k), decomp.WithC(8), decomp.WithForceComplete()}
+		en, err := decomp.Compile("elkin-neiman", opts...)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := decomp.Compile("linial-saks", opts...)
+		if err != nil {
+			return nil, err
+		}
 		var enDiam, enColors, enRounds []float64
 		var lsWeak, lsStrong, lsColors, lsRounds, lsDiscFrac []float64
 		for i := 0; i < trials; i++ {
-			opts := []decomp.Option{
-				decomp.WithK(k), decomp.WithC(8),
-				decomp.WithSeed(cfg.Seed + uint64(i)*271), decomp.WithForceComplete(),
-			}
-			enP, err := en.Decompose(ctx, g, opts...)
+			seed := cfg.Seed + uint64(i)*271
+			enP, err := runPlan(ctx, en.WithSeed(seed), g)
 			if err != nil {
 				return nil, err
 			}
@@ -57,7 +63,7 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 			enColors = append(enColors, float64(enP.Colors))
 			enRounds = append(enRounds, float64(enP.Metrics.Rounds))
 
-			lsP, err := ls.Decompose(ctx, g, opts...)
+			lsP, err := runPlan(ctx, ls.WithSeed(seed), g)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +99,6 @@ func T8MPXPartition(cfg Config) (*Table, error) {
 	n := pick(cfg, 400, 4096)
 	trials := cfg.trials(5, 20)
 	families := []gen.Family{gen.FamilyGnp, gen.FamilyGrid}
-	mpx := decomp.MustGet("mpx")
 	t := &Table{
 		ID:    "T8",
 		Title: fmt.Sprintf("MPX shifted-exponential partition (n≈%d, %d trials)", n, trials),
@@ -108,12 +113,16 @@ func T8MPXPartition(cfg Config) (*Table, error) {
 		}
 		lnN := math.Log(float64(g.N()))
 		for _, beta := range []float64{0.1, 0.2, 0.3, 0.5} {
+			// One plan per β; trials vary only the seed of the compiled plan.
+			mpx, err := decomp.Compile("mpx", decomp.WithBeta(beta))
+			if err != nil {
+				return nil, err
+			}
 			var cuts, diams, counts []float64
 			disconnected := 0
 			ballMax := 0
 			for i := 0; i < trials; i++ {
-				p, err := mpx.Decompose(ctx, g,
-					decomp.WithBeta(beta), decomp.WithSeed(cfg.Seed+uint64(i)*523))
+				p, err := runPlan(ctx, mpx.WithSeed(cfg.Seed+uint64(i)*523), g)
 				if err != nil {
 					return nil, err
 				}

@@ -32,12 +32,12 @@ func T14RegistryHeadToHead(cfg Config) (*Table, error) {
 			"wdiam", "rounds", "messages", "valid"},
 	}
 	for _, name := range decomp.Names() {
-		d, err := decomp.Get(name)
+		pl, err := decomp.Compile(name,
+			decomp.WithK(k), decomp.WithSeed(cfg.Seed), decomp.WithForceComplete())
 		if err != nil {
 			return nil, err
 		}
-		p, err := d.Decompose(ctx, g,
-			decomp.WithK(k), decomp.WithSeed(cfg.Seed), decomp.WithForceComplete())
+		p, err := runPlan(ctx, pl, g)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -56,5 +56,8 @@ func T14RegistryHeadToHead(cfg Config) (*Table, error) {
 			fmt.Sprintf("%v", p.Verify(g).Valid()))
 	}
 	t.AddNote("sdiam=inf marks weak-diameter algorithms with disconnected clusters; valid applies each mode's own invariants")
+	st := SessionStats()
+	t.AddNote("serving session to date: %d hits, %d misses, %d dedups (repeated (graph, plan, seed) work is cached)",
+		st.Hits, st.Misses, st.Dedups)
 	return t, nil
 }

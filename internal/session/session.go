@@ -1,0 +1,492 @@
+// Package session is the serving layer on top of compiled decomposition
+// plans: a bounded worker pool that executes decomp.Plan jobs with
+// singleflight deduplication of identical in-flight work and a
+// size-bounded LRU cache of completed Partitions.
+//
+// The cache and dedup key is the triple
+//
+//	(graph.Fingerprint, Plan.PlanKey, seed)
+//
+// — the graph's content digest, the plan's semantic digest (every Config
+// field except seed and observer), and the seed. Two submissions agreeing
+// on the triple are guaranteed the same Partition (every algorithm is
+// deterministic in its seed), so the session runs the work once: a second
+// submission while the first is still executing attaches to it
+// (deduplicated), and a submission after it completed is served from the
+// cache. Served results are defensive Partition.Clone copies — callers can
+// mutate what they receive without corrupting the cache or each other.
+//
+// Typical use:
+//
+//	s := session.New(session.WithWorkers(8), session.WithCacheSize(512))
+//	defer s.Close()
+//	pl, _ := decomp.Compile("elkin-neiman", decomp.WithForceComplete())
+//	p, err := s.Run(ctx, pl.WithSeed(7), g)      // blocking
+//	for r := range s.SubmitAll(ctx, reqs) { ... } // streaming batch
+//	fmt.Println(s.Stats())                        // hits / misses / dedups
+package session
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/graph"
+)
+
+// ErrClosed is returned by submissions made after Close.
+var ErrClosed = errors.New("session: closed")
+
+// Key is the cache and dedup key triple: graph fingerprint × plan key ×
+// seed. Distinct workloads collide with probability ~2⁻⁶⁴ per component
+// (see graph.Fingerprint), which is the usual content-digest caching
+// trade.
+type Key struct {
+	Graph uint64
+	Plan  uint64
+	Seed  uint64
+}
+
+// KeyFor returns the key a submission of pl on g would use.
+func KeyFor(pl *decomp.Plan, g graph.Interface) Key {
+	return Key{Graph: graph.Fingerprint(g), Plan: pl.PlanKey(), Seed: pl.Seed()}
+}
+
+// Stats is a point-in-time snapshot of the session counters.
+type Stats struct {
+	// Hits counts submissions served from the completed-result cache.
+	Hits uint64
+	// Misses counts submissions that scheduled a fresh execution.
+	Misses uint64
+	// Dedups counts submissions that attached to an identical in-flight
+	// execution instead of scheduling their own.
+	Dedups uint64
+	// Evictions counts cache entries displaced by the LRU bound.
+	Evictions uint64
+	// InFlight is the number of executions currently scheduled or running.
+	InFlight int
+	// Cached is the number of completed results currently held.
+	Cached int
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithWorkers bounds the worker pool to n concurrent executions
+// (default and minimum 1; the zero Session default is GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.workers = n }
+}
+
+// WithCacheSize bounds the completed-result LRU to n entries (default
+// 256). n = 0 disables caching entirely — every submission either
+// executes or dedups onto an in-flight execution.
+func WithCacheSize(n int) Option {
+	return func(s *Session) { s.cacheCap = n }
+}
+
+// Session is the concurrent plan-execution service. It is safe for use by
+// multiple goroutines; create one per process (or per tenant) and share
+// it, so identical work is actually deduplicated.
+type Session struct {
+	workers  int
+	cacheCap int
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*flight
+	closing  bool
+	inflight map[Key]*flight
+	items    map[Key]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+	dedups   uint64
+	evicted  uint64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key Key
+	p   *decomp.Partition
+}
+
+// flight is one scheduled execution plus everyone waiting on it.
+type flight struct {
+	s    *Session
+	key  Key
+	plan *decomp.Plan
+	g    graph.Interface
+
+	runCtx context.Context
+	cancel context.CancelFunc
+
+	obsMu     sync.Mutex
+	observers []func(dist.RoundStats)
+
+	waiters int // guarded by s.mu; at 0 the execution is cancelled
+
+	done chan struct{}
+	p    *decomp.Partition
+	err  error
+}
+
+// New starts a Session with the given options.
+func New(opts ...Option) *Session {
+	s := &Session{
+		workers:  runtime.GOMAXPROCS(0),
+		cacheCap: 256,
+		inflight: map[Key]*flight{},
+		items:    map[Key]*list.Element{},
+		order:    list.New(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if s.cacheCap < 0 {
+		s.cacheCap = 0
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting submissions, lets already-accepted work finish,
+// and waits for the workers to exit. It is idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Run submits one job and blocks until its result (or ctx expiry).
+func (s *Session) Run(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error) {
+	return s.Submit(ctx, pl, g).Wait()
+}
+
+// Submit schedules pl on g and returns immediately with a Job handle.
+// Identical completed work is served from cache; identical in-flight work
+// is joined rather than repeated. ctx cancellation abandons only this
+// job's wait — the shared execution is cancelled when its last waiter
+// abandons it.
+func (s *Session) Submit(ctx context.Context, pl *decomp.Plan, g graph.Interface) *Job {
+	return s.SubmitObserved(ctx, pl, g, nil)
+}
+
+// SubmitObserved is Submit with a per-job round observer. All observers of
+// one shared execution are fanned out to; an observer attached by a
+// deduplicated submission sees only the rounds emitted after it attached,
+// and a cache hit (no execution at all) emits nothing.
+func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.Interface, obs func(dist.RoundStats)) *Job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &Job{ctx: ctx}
+	switch {
+	case pl == nil:
+		j.err = errors.New("session: Submit with nil Plan")
+		return j
+	case g == nil:
+		j.err = errors.New("session: Submit with nil graph")
+		return j
+	}
+	key := KeyFor(pl, g)
+	j.key = key
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		j.err = ErrClosed
+		return j
+	}
+	if p, ok := s.cacheGet(key); ok {
+		s.hits++
+		s.mu.Unlock()
+		j.p, j.hit = p, true
+		return j
+	}
+	// Attach only to a flight that still has waiters: once the last waiter
+	// has abandoned one (observed under s.mu), its execution is doomed to
+	// cancellation, and a fresh submission must not share its fate — it
+	// schedules a replacement instead (the doomed flight only removes the
+	// inflight entry if it is still its own, see execute).
+	if fl, ok := s.inflight[key]; ok && fl.waiters > 0 {
+		s.dedups++
+		fl.waiters++
+		fl.addObservers(obs, pl.Config().Observer)
+		s.mu.Unlock()
+		j.fl = fl
+		return j
+	}
+	s.misses++
+	runCtx, cancel := context.WithCancel(context.Background())
+	fl := &flight{
+		s: s, key: key, plan: pl, g: g,
+		runCtx: runCtx, cancel: cancel,
+		waiters: 1, done: make(chan struct{}),
+	}
+	// Observers attach before the flight becomes visible to workers, so
+	// the initiating submission never misses a round.
+	fl.addObservers(obs, pl.Config().Observer)
+	s.inflight[key] = fl
+	s.pending = append(s.pending, fl)
+	s.mu.Unlock()
+	s.cond.Signal()
+	j.fl = fl
+	return j
+}
+
+// Request is one entry of a SubmitAll batch.
+type Request struct {
+	// Plan is the compiled plan to execute (derive per-seed copies with
+	// Plan.WithSeed).
+	Plan *decomp.Plan
+	// Graph is the input graph.
+	Graph graph.Interface
+	// Observer optionally streams this job's per-round statistics (fanned
+	// out when executions are shared; silent on cache hits).
+	Observer func(dist.RoundStats)
+}
+
+// Result is one streamed SubmitAll outcome.
+type Result struct {
+	// Index is the position of the originating Request.
+	Index int
+	// Partition is the result clone (nil when Err is set).
+	Partition *decomp.Partition
+	// Err is the job error, ctx expiry included.
+	Err error
+	// CacheHit reports that the result was served without any execution.
+	CacheHit bool
+}
+
+// SubmitAll submits the whole batch and streams results on the returned
+// channel as jobs complete, in completion order (Result.Index ties each
+// result back to its request). The channel is closed after the last
+// result; the batch shares ctx.
+func (s *Session) SubmitAll(ctx context.Context, reqs []Request) <-chan Result {
+	out := make(chan Result, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	go func() {
+		for i := range reqs {
+			r := reqs[i]
+			j := s.SubmitObserved(ctx, r.Plan, r.Graph, r.Observer)
+			go func(i int, j *Job) {
+				defer wg.Done()
+				p, err := j.Wait()
+				out <- Result{Index: i, Partition: p, Err: err, CacheHit: j.CacheHit()}
+			}(i, j)
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Dedups:    s.dedups,
+		Evictions: s.evicted,
+		InFlight:  len(s.inflight),
+		Cached:    s.order.Len(),
+	}
+}
+
+// worker is one pool goroutine: pop, execute, repeat until the session
+// drains after Close.
+func (s *Session) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.pending) == 0 && !s.closing {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		fl := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.execute(fl)
+		s.mu.Lock()
+	}
+}
+
+// execute runs one flight, stores the result, and wakes the waiters.
+func (s *Session) execute(fl *flight) {
+	defer fl.cancel()
+	var p *decomp.Partition
+	err := fl.runCtx.Err() // all waiters may have abandoned while queued
+	if err == nil {
+		p, err = fl.plan.WithObserver(fl.broadcast).Run(fl.runCtx, fl.g)
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.cacheAdd(fl.key, p)
+	}
+	// A doomed flight (all waiters abandoned) may have been replaced in
+	// the inflight table by a fresh submission; only remove our own entry.
+	if s.inflight[fl.key] == fl {
+		delete(s.inflight, fl.key)
+	}
+	s.mu.Unlock()
+	fl.p, fl.err = p, err
+	close(fl.done)
+}
+
+// broadcast fans one round record out to every attached observer.
+func (fl *flight) broadcast(rs dist.RoundStats) {
+	fl.obsMu.Lock()
+	obs := fl.observers
+	fl.obsMu.Unlock()
+	for _, f := range obs {
+		f(rs)
+	}
+}
+
+// addObservers attaches the non-nil observers to the flight.
+func (fl *flight) addObservers(obs ...func(dist.RoundStats)) {
+	fl.obsMu.Lock()
+	for _, f := range obs {
+		if f != nil {
+			fl.observers = append(fl.observers, f)
+		}
+	}
+	fl.obsMu.Unlock()
+}
+
+// cacheGet returns the cached partition for key, refreshing its LRU
+// position. Caller holds s.mu.
+func (s *Session) cacheGet(key Key) (*decomp.Partition, bool) {
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+// cacheAdd inserts (or refreshes) a completed result, evicting the least
+// recently used entry past the bound. Caller holds s.mu.
+func (s *Session) cacheAdd(key Key, p *decomp.Partition) {
+	if s.cacheCap == 0 {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, p: p})
+	for s.order.Len() > s.cacheCap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		s.evicted++
+	}
+}
+
+// Job is the handle of one submission.
+type Job struct {
+	ctx context.Context
+	key Key
+
+	fl *flight // nil when resolved at submit time (cache hit or error)
+
+	p   *decomp.Partition
+	err error
+	hit bool
+
+	detachOnce sync.Once
+}
+
+// Key returns the cache key the job was routed by.
+func (j *Job) Key() Key { return j.key }
+
+// CacheHit reports whether the job was served from the completed-result
+// cache at submit time.
+func (j *Job) CacheHit() bool { return j.hit }
+
+// Done returns a channel closed when the result is available. For jobs
+// resolved at submit time (cache hits, submit errors) it is already
+// closed.
+func (j *Job) Done() <-chan struct{} {
+	if j.fl != nil {
+		return j.fl.done
+	}
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// Wait blocks until the job resolves and returns a defensive clone of the
+// result (safe to mutate). If the job's ctx expires first, Wait abandons
+// the wait and returns the ctx error; the shared execution keeps running
+// for its other waiters and is cancelled only when the last one abandons
+// it. Wait may be called multiple times; each successful call returns a
+// fresh clone.
+func (j *Job) Wait() (*decomp.Partition, error) {
+	if j.fl == nil {
+		if j.err != nil {
+			return nil, j.err
+		}
+		return j.p.Clone(), nil
+	}
+	select {
+	case <-j.fl.done:
+		if j.fl.err != nil {
+			return nil, j.fl.err
+		}
+		return j.fl.p.Clone(), nil
+	case <-j.ctx.Done():
+		j.detach()
+		// Completion may have raced the cancellation; prefer the result.
+		select {
+		case <-j.fl.done:
+			if j.fl.err != nil {
+				return nil, j.fl.err
+			}
+			return j.fl.p.Clone(), nil
+		default:
+		}
+		return nil, j.ctx.Err()
+	}
+}
+
+// detach removes this job from its flight's waiter count, cancelling the
+// execution when nobody is left waiting on it.
+func (j *Job) detach() {
+	j.detachOnce.Do(func() {
+		s := j.fl.s
+		s.mu.Lock()
+		j.fl.waiters--
+		last := j.fl.waiters == 0
+		s.mu.Unlock()
+		if last {
+			j.fl.cancel()
+		}
+	})
+}

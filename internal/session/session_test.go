@@ -1,0 +1,600 @@
+package session_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/session"
+)
+
+// gate is a registrable decomposer whose execution blocks until released —
+// the tool for making dedup and cancellation windows deterministic.
+type gate struct {
+	name      string
+	started   chan struct{}
+	release   chan struct{}
+	once      sync.Once
+	runs      int32
+	mu        sync.Mutex
+	ignoreCtx bool // hold the gate through cancellation (keeps the flight in flight)
+}
+
+// registerGate registers a gated decomposer under a unique name.
+func registerGate(t *testing.T, name string) *gate {
+	t.Helper()
+	gt := &gate{name: name, started: make(chan struct{}), release: make(chan struct{})}
+	decomp.Register(decomp.Func{AlgorithmName: name, Run: gt.run})
+	return gt
+}
+
+func (gt *gate) run(ctx context.Context, g graph.Interface, cfg decomp.Config) (*decomp.Partition, error) {
+	gt.mu.Lock()
+	gt.runs++
+	gt.mu.Unlock()
+	gt.once.Do(func() { close(gt.started) })
+	if gt.ignoreCtx {
+		<-gt.release
+	} else {
+		select {
+		case <-gt.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if cfg.Observer != nil {
+		cfg.Observer(dist.RoundStats{Round: 1, Messages: 1})
+		cfg.Observer(dist.RoundStats{Round: 2, Messages: 2})
+	}
+	members := make([]int, g.N())
+	for v := range members {
+		members[v] = v
+	}
+	return &decomp.Partition{
+		Algorithm: gt.name,
+		N:         g.N(),
+		Clusters:  []decomp.Cluster{{Members: members}},
+		ClusterOf: make([]int, g.N()),
+		Colors:    1,
+		Complete:  true,
+		Mode:      decomp.StrongDiameter,
+	}, nil
+}
+
+func (gt *gate) runCount() int32 {
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	return gt.runs
+}
+
+// TestGoldenPartitionsThroughSession is the session half of the golden
+// contract: for every registry algorithm, a Plan executed through a cold
+// Session equals the direct one-shot Decompose bit for bit, and a warm
+// Session serves the repeat from cache — no decomposition work, asserted
+// via Stats — with the identical result again.
+func TestGoldenPartitionsThroughSession(t *testing.T) {
+	g, err := gen.Build(gen.FamilyGnp, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := session.New()
+	defer s.Close()
+	ctx := context.Background()
+	wantMisses := uint64(0)
+	for _, algo := range decomp.Names() {
+		direct, err := decomp.MustGet(algo).Decompose(ctx, g,
+			decomp.WithSeed(7), decomp.WithForceComplete())
+		if err != nil {
+			t.Fatalf("%s direct: %v", algo, err)
+		}
+		pl, err := decomp.Compile(algo, decomp.WithSeed(7), decomp.WithForceComplete())
+		if err != nil {
+			t.Fatalf("%s compile: %v", algo, err)
+		}
+		cold, err := s.Run(ctx, pl, g)
+		if err != nil {
+			t.Fatalf("%s session cold: %v", algo, err)
+		}
+		if !reflect.DeepEqual(direct, cold) {
+			t.Errorf("%s: session result differs from direct Decompose", algo)
+		}
+		warmJob := s.Submit(ctx, pl, g)
+		warm, err := warmJob.Wait()
+		if err != nil {
+			t.Fatalf("%s session warm: %v", algo, err)
+		}
+		if !warmJob.CacheHit() {
+			t.Errorf("%s: repeat submission was not a cache hit", algo)
+		}
+		if !reflect.DeepEqual(direct, warm) {
+			t.Errorf("%s: cached result differs from direct Decompose", algo)
+		}
+		wantMisses++
+	}
+	st := s.Stats()
+	if st.Misses != wantMisses || st.Hits != wantMisses {
+		t.Errorf("stats = %+v, want %d misses and %d hits", st, wantMisses, wantMisses)
+	}
+}
+
+// TestSessionDedupSingleflight pins the singleflight contract: identical
+// jobs submitted while the first is executing attach to it — one
+// execution, N results, N-1 dedups.
+func TestSessionDedupSingleflight(t *testing.T) {
+	gt := registerGate(t, "test/gate-dedup")
+	g := gen.Grid(4, 4)
+	s := session.New(session.WithWorkers(2))
+	defer s.Close()
+	pl, err := decomp.Compile(gt.name, decomp.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first := s.Submit(ctx, pl, g)
+	<-gt.started // execution is underway and holds the key in-flight
+	const extra = 5
+	jobs := []*session.Job{first}
+	for i := 0; i < extra; i++ {
+		jobs = append(jobs, s.Submit(ctx, pl, g))
+	}
+	close(gt.release)
+	var results []*decomp.Partition
+	for i, j := range jobs {
+		p, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		results = append(results, p)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("job %d result differs from job 0", i)
+		}
+		if &results[0].Clusters[0].Members[0] == &results[i].Clusters[0].Members[0] {
+			t.Fatalf("job %d aliases job 0's member slice; want defensive clones", i)
+		}
+	}
+	if n := gt.runCount(); n != 1 {
+		t.Fatalf("decomposer ran %d times, want 1", n)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Dedups != extra || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss and %d dedups", st, extra)
+	}
+}
+
+// TestSessionConcurrentSubmitters hammers one session from many
+// goroutines with overlapping jobs (run with -race): every submission is
+// accounted exactly once as hit, miss or dedup, each distinct key
+// executes at most once per... exactly once (the cache is large enough),
+// and every result is bit-identical to a direct Decompose of its triple.
+func TestSessionConcurrentSubmitters(t *testing.T) {
+	g1, err := gen.Build(gen.FamilyGnp, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.Grid(12, 12)
+	graphs := []*graph.Graph{g1, g2}
+	algos := []string{"elkin-neiman", "mpx", "ball-carving"}
+	seeds := []uint64{1, 2}
+
+	s := session.New(session.WithWorkers(4))
+	defer s.Close()
+	ctx := context.Background()
+
+	type triple struct {
+		gi   int
+		algo string
+		seed uint64
+	}
+	var triples []triple
+	direct := map[triple]*decomp.Partition{}
+	for gi := range graphs {
+		for _, algo := range algos {
+			for _, seed := range seeds {
+				tr := triple{gi, algo, seed}
+				triples = append(triples, tr)
+				p, err := decomp.MustGet(algo).Decompose(ctx, graphs[gi],
+					decomp.WithSeed(seed), decomp.WithForceComplete())
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct[tr] = p
+			}
+		}
+	}
+
+	const goroutines = 8
+	const perG = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perG; i++ {
+				tr := triples[rng.Intn(len(triples))]
+				pl, err := decomp.Compile(tr.algo,
+					decomp.WithSeed(tr.seed), decomp.WithForceComplete())
+				if err != nil {
+					errs <- err
+					return
+				}
+				p, err := s.Run(ctx, pl, graphs[tr.gi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(p, direct[tr]) {
+					errs <- fmt.Errorf("%v: session result differs from direct", tr)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	total := st.Hits + st.Misses + st.Dedups
+	if total != goroutines*perG {
+		t.Fatalf("hits+misses+dedups = %d, want %d: %+v", total, goroutines*perG, st)
+	}
+	if st.Misses > uint64(len(triples)) {
+		t.Fatalf("%d misses for %d distinct keys (no evictions configured): %+v",
+			st.Misses, len(triples), st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight work left behind: %+v", st)
+	}
+}
+
+// TestSessionLRUEviction pins the cache bound: with capacity 2, a third
+// distinct key evicts the least recently used entry, and re-running the
+// evicted key is a miss again.
+func TestSessionLRUEviction(t *testing.T) {
+	g := gen.Grid(8, 8)
+	s := session.New(session.WithWorkers(1), session.WithCacheSize(2))
+	defer s.Close()
+	ctx := context.Background()
+	pl, err := decomp.Compile("ball-carving", decomp.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) {
+		t.Helper()
+		if _, err := s.Run(ctx, pl.WithSeed(seed), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1)
+	run(2)
+	run(1) // refresh seed 1: seed 2 is now the LRU entry
+	run(3) // evicts seed 2
+	run(2) // miss again
+	st := s.Stats()
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (seeds 1,2,3 cold + seed 2 re-executed after eviction)", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (the seed-1 refresh)", st.Hits)
+	}
+	if st.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1", st.Evictions)
+	}
+	if st.Cached > 2 {
+		t.Errorf("cached = %d entries, bound is 2", st.Cached)
+	}
+}
+
+// TestSessionCacheDisabled pins WithCacheSize(0): nothing is retained, so
+// sequential repeats re-execute.
+func TestSessionCacheDisabled(t *testing.T) {
+	g := gen.Grid(6, 6)
+	s := session.New(session.WithCacheSize(0))
+	defer s.Close()
+	pl, err := decomp.Compile("ball-carving", decomp.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(context.Background(), pl, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 3 || st.Hits != 0 || st.Cached != 0 {
+		t.Fatalf("stats = %+v, want 3 misses and an empty cache", st)
+	}
+}
+
+// TestSessionHitEqualsMissProperty is the property test of the acceptance
+// contract: over random (graph family, algorithm, seed) triples, the
+// partition served from cache is deep-equal to the one computed on the
+// cold miss, which in turn is deep-equal to a direct Plan.Run.
+func TestSessionHitEqualsMissProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	algos := []string{"elkin-neiman", "linial-saks", "mpx", "ball-carving"}
+	fams := []gen.Family{gen.FamilyGnp, gen.FamilyTree, gen.FamilyRingOfCliques}
+	s := session.New()
+	defer s.Close()
+	ctx := context.Background()
+	for trial := 0; trial < 12; trial++ {
+		fam := fams[rng.Intn(len(fams))]
+		algo := algos[rng.Intn(len(algos))]
+		seed := rng.Uint64()
+		n := 64 + rng.Intn(128)
+		g, err := gen.Build(fam, n, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := decomp.Compile(algo, decomp.WithSeed(seed), decomp.WithForceComplete())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pl.Run(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		missJob := s.Submit(ctx, pl, g)
+		miss, err := missJob.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hitJob := s.Submit(ctx, pl, g)
+		hit, err := hitJob.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if missJob.CacheHit() || !hitJob.CacheHit() {
+			t.Fatalf("trial %d (%s on %s): cache flags wrong (miss=%v hit=%v)",
+				trial, algo, fam, missJob.CacheHit(), hitJob.CacheHit())
+		}
+		if !reflect.DeepEqual(want, miss) || !reflect.DeepEqual(miss, hit) {
+			t.Fatalf("trial %d (%s on %s seed %d): cache-hit partition differs from cache-miss/direct",
+				trial, algo, fam, seed)
+		}
+	}
+}
+
+// TestSessionObserverFanout pins the observer plumbing: both the first
+// submitter's and a deduplicated submitter's observers receive the shared
+// execution's rounds, and a cache-hit job's observer receives nothing.
+func TestSessionObserverFanout(t *testing.T) {
+	gt := registerGate(t, "test/gate-observe")
+	g := gen.Grid(3, 3)
+	s := session.New(session.WithWorkers(2))
+	defer s.Close()
+	pl, err := decomp.Compile(gt.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var mu sync.Mutex
+	counts := map[string]int{}
+	obs := func(tag string) func(dist.RoundStats) {
+		return func(dist.RoundStats) {
+			mu.Lock()
+			counts[tag]++
+			mu.Unlock()
+		}
+	}
+	first := s.SubmitObserved(ctx, pl, g, obs("first"))
+	<-gt.started
+	second := s.SubmitObserved(ctx, pl, g, obs("dedup"))
+	close(gt.release)
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	third := s.SubmitObserved(ctx, pl, g, obs("hit"))
+	if _, err := third.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["first"] != 2 || counts["dedup"] != 2 {
+		t.Errorf("observer rounds = %v, want 2 for both sharers (gate emits 2)", counts)
+	}
+	if counts["hit"] != 0 {
+		t.Errorf("cache-hit observer saw %d rounds, want 0", counts["hit"])
+	}
+	if !third.CacheHit() {
+		t.Error("third submission should have been a cache hit")
+	}
+}
+
+// TestSessionContextCancel pins per-job cancellation: a waiter whose ctx
+// expires abandons the wait with ctx.Err, and once every waiter has
+// abandoned an execution its context is cancelled too.
+func TestSessionContextCancel(t *testing.T) {
+	gt := registerGate(t, "test/gate-cancel")
+	g := gen.Grid(3, 3)
+	s := session.New(session.WithWorkers(1))
+	defer s.Close()
+	pl, err := decomp.Compile(gt.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := s.Submit(ctx, pl, g)
+	<-gt.started
+	cancel()
+	if _, err := j.Wait(); err != context.Canceled {
+		t.Fatalf("Wait after cancel = %v, want context.Canceled", err)
+	}
+	// The sole waiter abandoned; the gated run's ctx.Done branch returns.
+	deadline := time.After(5 * time.Second)
+	for s.Stats().InFlight != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("execution not reaped after its last waiter cancelled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Cancelled executions are not cached, and the session still serves.
+	close(gt.release)
+	p, err := s.Run(context.Background(), pl, g)
+	if err != nil || p.N != g.N() {
+		t.Fatalf("session unusable after cancellation: %v", err)
+	}
+	st := s.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (cancelled run must not be cached)", st.Misses)
+	}
+}
+
+// TestSessionAbandonedFlightNotJoined pins the doomed-flight rule: a
+// fresh submission must not attach to an in-flight execution whose last
+// waiter already abandoned it (that execution is fated to be cancelled) —
+// it schedules a replacement and succeeds with a live result.
+func TestSessionAbandonedFlightNotJoined(t *testing.T) {
+	gt := registerGate(t, "test/gate-abandoned")
+	gt.ignoreCtx = true // the run outlives its cancellation, pinning the window open
+	g := gen.Grid(3, 3)
+	s := session.New(session.WithWorkers(1), session.WithCacheSize(0))
+	defer s.Close()
+	pl, err := decomp.Compile(gt.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	a := s.Submit(ctxA, pl, g)
+	<-gt.started
+	cancelA()
+	if _, err := a.Wait(); err != context.Canceled {
+		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
+	}
+	// The first execution is still blocked in the gate (it ignores its
+	// cancelled ctx), so its flight is still in the in-flight table with
+	// zero waiters. A fresh submission must not be chained to it.
+	b := s.Submit(context.Background(), pl, g)
+	close(gt.release) // lets the doomed run finish, then b's replacement run
+	p, err := b.Wait()
+	if err != nil {
+		t.Fatalf("fresh submission inherited the abandoned flight's fate: %v", err)
+	}
+	if p.N != g.N() {
+		t.Fatalf("bad result: %v", p)
+	}
+	if n := gt.runCount(); n != 2 {
+		t.Fatalf("decomposer ran %d times, want 2 (doomed run + replacement)", n)
+	}
+	st := s.Stats()
+	if st.Misses != 2 || st.Dedups != 0 {
+		t.Fatalf("stats = %+v, want 2 misses and no dedup onto the doomed flight", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight table not cleaned up: %+v", st)
+	}
+}
+
+// TestSessionSubmitAll pins the streaming batch API: every request gets
+// exactly one result carrying its index, duplicates are absorbed by cache
+// or dedup, and the channel closes.
+func TestSessionSubmitAll(t *testing.T) {
+	g, err := gen.Build(gen.FamilyGnp, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := session.New(session.WithWorkers(3))
+	defer s.Close()
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds, copies = 4, 3
+	var reqs []session.Request
+	for c := 0; c < copies; c++ {
+		for i := 0; i < seeds; i++ {
+			reqs = append(reqs, session.Request{Plan: pl.WithSeed(uint64(i)), Graph: g})
+		}
+	}
+	got := map[int]*decomp.Partition{}
+	for res := range s.SubmitAll(context.Background(), reqs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if _, dup := got[res.Index]; dup {
+			t.Fatalf("index %d delivered twice", res.Index)
+		}
+		got[res.Index] = res.Partition
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if !reflect.DeepEqual(got[i], got[i%seeds]) {
+			t.Fatalf("request %d result differs from its seed twin %d", i, i%seeds)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != seeds {
+		t.Errorf("misses = %d, want %d (one execution per distinct seed)", st.Misses, seeds)
+	}
+	if st.Hits+st.Dedups != uint64(len(reqs)-seeds) {
+		t.Errorf("hits+dedups = %d, want %d: %+v", st.Hits+st.Dedups, len(reqs)-seeds, st)
+	}
+}
+
+// TestSessionClosed pins Close semantics: submissions after Close fail
+// with ErrClosed and Close is idempotent.
+func TestSessionClosed(t *testing.T) {
+	s := session.New(session.WithWorkers(1))
+	pl, err := decomp.Compile("ball-carving", decomp.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Grid(3, 3)
+	if _, err := s.Run(context.Background(), pl, g); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, err := s.Run(context.Background(), pl, g); err != session.ErrClosed {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestKeyForComponents pins the key anatomy: the three components move
+// independently — graph, plan semantics and seed each change exactly one
+// field, and observers change nothing.
+func TestKeyForComponents(t *testing.T) {
+	g1 := gen.Grid(4, 4)
+	g2 := gen.Grid(5, 5)
+	base, err := decomp.Compile("elkin-neiman", decomp.WithK(3), decomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := session.KeyFor(base, g1)
+	if k2 := session.KeyFor(base, g2); k2.Graph == k.Graph || k2.Plan != k.Plan || k2.Seed != k.Seed {
+		t.Errorf("graph change: %+v vs %+v", k, k2)
+	}
+	other, err := decomp.Compile("elkin-neiman", decomp.WithK(4), decomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 := session.KeyFor(other, g1); k2.Plan == k.Plan || k2.Graph != k.Graph || k2.Seed != k.Seed {
+		t.Errorf("plan change: %+v vs %+v", k, k2)
+	}
+	if k2 := session.KeyFor(base.WithSeed(9), g1); k2.Seed != 9 || k2.Plan != k.Plan || k2.Graph != k.Graph {
+		t.Errorf("seed change: %+v vs %+v", k, k2)
+	}
+	observed := base.WithObserver(func(dist.RoundStats) {})
+	if k2 := session.KeyFor(observed, g1); k2 != k {
+		t.Errorf("observer changed the key: %+v vs %+v", k, k2)
+	}
+}

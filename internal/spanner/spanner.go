@@ -16,11 +16,13 @@
 package spanner
 
 import (
+	"context"
 	"fmt"
 
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/randx"
+	"netdecomp/internal/session"
 )
 
 // Spanner is a spanning subgraph with its quality measures.
@@ -37,8 +39,33 @@ type Spanner struct {
 	Pieces int
 }
 
+// BuildFromPlan decomposes g by the compiled plan and builds the skeleton
+// from the result. When s is non-nil the decomposition runs through the
+// serving session, so repeated spanner builds on the same (graph, plan,
+// seed) are served from the session's result cache instead of
+// re-decomposing; a nil session executes the plan directly. The plan must
+// force completion (spanners need every vertex clustered).
+func BuildFromPlan(ctx context.Context, g graph.Interface, s *session.Session, pl *decomp.Plan) (*Spanner, error) {
+	if !pl.Config().ForceComplete {
+		return nil, fmt.Errorf("spanner: plan %s does not force completion; compile with WithForceComplete", pl.Name())
+	}
+	var p *decomp.Partition
+	var err error
+	if s != nil {
+		p, err = s.Run(ctx, pl, g)
+	} else {
+		p, err = pl.Run(ctx, g)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spanner: decomposing: %w", err)
+	}
+	return Build(g, p)
+}
+
 // Build constructs the skeleton from any complete Partition of g — the
-// output of every registered decomposition algorithm qualifies.
+// output of every registered decomposition algorithm qualifies. The
+// partition is only read during the call (no slices are retained), so the
+// caller keeps ownership of it.
 func Build(g graph.Interface, p *decomp.Partition) (*Spanner, error) {
 	if !p.Complete {
 		return nil, fmt.Errorf("spanner: partition incomplete; decompose with force-complete")

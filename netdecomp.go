@@ -25,6 +25,13 @@
 // names are listed by Algorithms(); applications can add their own
 // algorithms with RegisterDecomposer.
 //
+// For repeated or concurrent work, the Plan/Session layer compiles a
+// configuration once (Compile → immutable Plan with a stable PlanKey) and
+// serves executions through NewSession: a bounded worker pool with
+// singleflight deduplication and an LRU cache of completed Partitions
+// keyed on (GraphFingerprint, PlanKey, seed), returning defensive clones.
+// See examples/session and DESIGN.md §10.
+//
 // The per-algorithm entry points below (Decompose, DecomposeDistributed,
 // LinialSaks, MPX, MPXDistributed, BallCarving, AppInputFromDecomposition,
 // Verify, BuildSpanner) predate the registry; they remain as thin
