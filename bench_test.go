@@ -240,6 +240,32 @@ func BenchmarkHotpathPowerLawDist65536(b *testing.B) {
 	hotpathRun(b, "elkin-neiman/dist", g, netdecomp.WithForceComplete())
 }
 
+// --- Telemetry overhead benchmarks ---------------------------------------
+//
+// The same hot-path workloads with a metrics recorder attached, against
+// the recorder-less runs above. Named outside the BenchmarkHotpath*
+// pattern so the hot-path regression gate keeps measuring the telemetry-
+// off path alone; the off-vs-on pairs are recorded in BENCH_obs.json and
+// CI gates the off path against it at -threshold 0.05 with a zero-growth
+// allocs/op bound (disabled telemetry must cost one nil test, not
+// allocations).
+
+// BenchmarkObsHotpathSim65536 is BenchmarkHotpathSim65536 with per-round
+// frontier/phase histograms and plan counters recording.
+func BenchmarkObsHotpathSim65536(b *testing.B) {
+	g := gen.GnpConnected(randx.New(3), 1<<16, 8.0/float64(1<<16-1))
+	rec := netdecomp.NewRecorder(netdecomp.NewMetricsRegistry(), nil)
+	hotpathRun(b, "elkin-neiman", g, netdecomp.WithForceComplete(), netdecomp.WithRecorder(rec))
+}
+
+// BenchmarkObsHotpathDist65536 is BenchmarkHotpathDist65536 with the
+// engine reporting per-round message/word/active counters.
+func BenchmarkObsHotpathDist65536(b *testing.B) {
+	g := gen.GnpConnected(randx.New(3), 1<<16, 8.0/float64(1<<16-1))
+	rec := netdecomp.NewRecorder(netdecomp.NewMetricsRegistry(), nil)
+	hotpathRun(b, "elkin-neiman/dist", g, netdecomp.WithForceComplete(), netdecomp.WithRecorder(rec))
+}
+
 // --- Session benchmarks -------------------------------------------------
 //
 // The serving-layer pair: the cache-hit path (one fingerprint lookup plus

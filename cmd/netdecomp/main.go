@@ -3,11 +3,19 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"runtime"
+	rtpprof "runtime/pprof"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"netdecomp/internal/core"
@@ -15,6 +23,7 @@ import (
 	"netdecomp/internal/gen"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/graphio"
+	"netdecomp/internal/obs"
 	"netdecomp/internal/session"
 	"netdecomp/internal/stats"
 )
@@ -36,6 +45,19 @@ import (
 //	netdecomp -family gnp -n 1024 -repeat 5            # cache hits
 //	netdecomp -family gnp -n 1024 -sweep-seeds 8       # seed sweep, one plan
 //	netdecomp -n 512 -sweep                            # every gen family
+//
+// Observability: every run collects its telemetry (round counters,
+// frontier/latency histograms, session cache statistics) in a unified
+// registry. -metrics-addr serves it over HTTP as Prometheus text
+// (/metrics), expvar JSON (/debug/vars) and live pprof endpoints
+// (/debug/pprof/); -trace exports the run's span hierarchy — session job
+// → plan run → phase → per-round instants — as Chrome trace-event JSON
+// for chrome://tracing or Perfetto; -profile-cpu / -profile-mem write
+// runtime/pprof profiles of the process itself.
+//
+//	netdecomp -family gnp -n 65536 -metrics-addr :8080 -linger 1m
+//	netdecomp -family grid -n 4096 -trace run.json
+//	netdecomp -family gnp -n 65536 -profile-cpu cpu.out -profile-mem heap.out
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netdecomp:", err)
@@ -63,8 +85,58 @@ func run(args []string, w io.Writer) error {
 	repeat := fs.Int("repeat", 1, "submit the identical job this many times through a session (exercises the result cache)")
 	sweepSeeds := fs.Int("sweep-seeds", 0, "run seeds seed..seed+N-1 through a session as one streamed batch")
 	sweep := fs.Bool("sweep", false, "run the algorithm on every graph family (no -input), one session")
+	metricsAddr := fs.String("metrics-addr", "", "serve the telemetry registry on this address: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (live profiling)")
+	linger := fs.Duration("linger", 0, "with -metrics-addr: keep serving this long after the run completes (so scrapers see the final state)")
+	tracePath := fs.String("trace", "", "write the run's span hierarchy as Chrome trace-event JSON to this file")
+	cpuProfile := fs.String("profile-cpu", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("profile-mem", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One registry for the whole invocation; the tracer only exists when a
+	// trace export was requested (spans are retained in memory).
+	reg := obs.NewRegistry()
+	var trc *obs.Tracer
+	if *tracePath != "" {
+		trc = obs.NewTracer()
+	}
+	rec := obs.New(reg, trc)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := rtpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			rtpprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "netdecomp: heap profile:", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		srv, ln, err := startMetricsServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics  : serving http://%s/metrics /debug/vars /debug/pprof\n", ln.Addr())
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(w, "metrics  : lingering %v on http://%s\n", *linger, ln.Addr())
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
 	}
 
 	ctx := context.Background()
@@ -115,21 +187,103 @@ func run(args []string, w io.Writer) error {
 	if *sweepSeeds < 0 {
 		return fmt.Errorf("-sweep-seeds must be non-negative, got %d", *sweepSeeds)
 	}
-	if *sweep {
-		if *input != "" {
-			return fmt.Errorf("-sweep generates its own graphs; drop -input")
+	runErr := func() error {
+		if *sweep {
+			if *input != "" {
+				return fmt.Errorf("-sweep generates its own graphs; drop -input")
+			}
+			return deadline(runFamilySweep(ctx, w, pl, rec, *n, *seed, *sweepSeeds), *timeout)
 		}
-		return deadline(runFamilySweep(ctx, w, pl, *n, *seed, *sweepSeeds), *timeout)
-	}
+		g, source, err := loadGraph(*input, *family, *n, *seed)
+		if err != nil {
+			return err
+		}
+		if *sweepSeeds > 0 {
+			return deadline(runSeedSweep(ctx, w, pl, rec, g, source, *seed, *sweepSeeds, *repeat), *timeout)
+		}
+		return deadline(runOnce(ctx, w, pl, rec, g, source, *algo, variant, *repeat), *timeout)
+	}()
 
-	g, source, err := loadGraph(*input, *family, *n, *seed)
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath, trc); err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(w, "trace    : wrote %s (load in chrome://tracing or Perfetto)\n", *tracePath)
+		}
+	}
+	return runErr
+}
+
+// startMetricsServer binds addr and serves the observability surface:
+// Prometheus text on /metrics, the expvar JSON dump on /debug/vars, and
+// the live net/http/pprof handlers under /debug/pprof/.
+func startMetricsServer(addr string, reg *obs.Registry) (*http.Server, net.Listener, error) {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-metrics-addr %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, nil
+}
+
+// expvar.Publish panics on duplicate names, so the netdecomp var is
+// published once per process and indirects through an atomic pointer to
+// the registry of the most recent run (tests call run repeatedly).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[obs.Registry]
+)
+
+func publishExpvar(reg *obs.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("netdecomp", expvar.Func(func() any {
+			return expvarReg.Load().ExpvarMap()
+		}))
+	})
+}
+
+// writeTraceFile exports the tracer's event buffer as Chrome trace JSON.
+func writeTraceFile(path string, trc *obs.Tracer) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if *sweepSeeds > 0 {
-		return deadline(runSeedSweep(ctx, w, pl, g, source, *seed, *sweepSeeds, *repeat), *timeout)
+	if err := trc.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	return deadline(runOnce(ctx, w, pl, g, source, *algo, variant, *repeat), *timeout)
+	return f.Close()
+}
+
+// writeHeapProfile snapshots the heap after a final GC — the
+// -profile-mem exit hook.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := rtpprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // deadline converts a context deadline error into the actionable message
@@ -171,11 +325,11 @@ func loadGraph(input, family string, n int, seed uint64) (*graph.Graph, string, 
 
 // runOnce is the classic single-job mode, optionally repeated through a
 // session to demonstrate the result cache.
-func runOnce(ctx context.Context, w io.Writer, pl *decomp.Plan, g *graph.Graph, source, algo string, variant core.Variant, repeat int) error {
+func runOnce(ctx context.Context, w io.Writer, pl *decomp.Plan, rec *obs.Recorder, g *graph.Graph, source, algo string, variant core.Variant, repeat int) error {
 	var p *decomp.Partition
 	var st session.Stats
 	if repeat > 1 {
-		s := session.New()
+		s := session.New(session.WithRecorder(rec))
 		defer s.Close()
 		for i := 0; i < repeat; i++ {
 			var err error
@@ -187,7 +341,7 @@ func runOnce(ctx context.Context, w io.Writer, pl *decomp.Plan, g *graph.Graph, 
 		st = s.Stats()
 	} else {
 		var err error
-		p, err = pl.Run(ctx, g)
+		p, err = pl.WithRecorder(rec).Run(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -232,8 +386,8 @@ func runOnce(ctx context.Context, w io.Writer, pl *decomp.Plan, g *graph.Graph, 
 
 // runSeedSweep submits seeds base..base+count-1 (each repeated `repeat`
 // times, so dedup and cache absorb the duplicates) as one streamed batch.
-func runSeedSweep(ctx context.Context, w io.Writer, pl *decomp.Plan, g *graph.Graph, source string, base uint64, count, repeat int) error {
-	s := session.New()
+func runSeedSweep(ctx context.Context, w io.Writer, pl *decomp.Plan, rec *obs.Recorder, g *graph.Graph, source string, base uint64, count, repeat int) error {
+	s := session.New(session.WithRecorder(rec))
 	defer s.Close()
 	reqs := make([]session.Request, 0, count*repeat)
 	for r := 0; r < repeat; r++ {
@@ -272,11 +426,11 @@ func runSeedSweep(ctx context.Context, w io.Writer, pl *decomp.Plan, g *graph.Gr
 
 // runFamilySweep runs the plan over every registered graph family — the
 // gen.Families table is enumerated the same way the decomp registry is.
-func runFamilySweep(ctx context.Context, w io.Writer, pl *decomp.Plan, n int, seed uint64, seeds int) error {
+func runFamilySweep(ctx context.Context, w io.Writer, pl *decomp.Plan, rec *obs.Recorder, n int, seed uint64, seeds int) error {
 	if seeds < 1 {
 		seeds = 1
 	}
-	s := session.New()
+	s := session.New(session.WithRecorder(rec))
 	defer s.Close()
 	fmt.Fprintf(w, "plan     : algo=%s plankey=%016x n≈%d seeds=%d\n", pl.Name(), pl.PlanKey(), n, seeds)
 	for _, fam := range gen.Families() {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netdecomp/internal/obs"
+)
+
+// TestMetricsServerEndpoints boots the -metrics-addr surface on an
+// ephemeral port and checks all three endpoints: Prometheus text,
+// expvar JSON (including the published netdecomp registry), and the
+// pprof index.
+func TestMetricsServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("engine.rounds").Add(3)
+	reg.Histogram("plan.test.ns").Observe(1000)
+	srv, ln, err := startMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{"engine_rounds 3", "plan_test_ns_count 1", `quantile="0.99"`} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	nd, ok := vars["netdecomp"]
+	if !ok {
+		t.Fatal("/debug/vars has no netdecomp var")
+	}
+	var ndMap map[string]any
+	if err := json.Unmarshal(nd, &ndMap); err != nil {
+		t.Fatalf("netdecomp var is not a JSON object: %v", err)
+	}
+	if ndMap["engine.rounds"] != float64(3) {
+		t.Errorf("netdecomp expvar engine.rounds = %v, want 3", ndMap["engine.rounds"])
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}
+
+// TestRunTraceExport runs the CLI with -trace and checks the output is a
+// loadable Chrome trace: valid JSON with the plan span and round instants.
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var out bytes.Buffer
+	if err := run([]string{"-family", "grid", "-n", "64", "-force", "-trace", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trace    : wrote") {
+		t.Errorf("output does not report the trace file:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			PID  *int64   `json:"pid"`
+			TID  *int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var sawPlan, sawPhase, sawRound bool
+	for _, e := range doc.TraceEvents {
+		if e.TS == nil || e.PID == nil || e.TID == nil {
+			t.Fatalf("event %q missing ts/pid/tid — chrome://tracing rejects it", e.Name)
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "plan/"):
+			sawPlan = true
+		case e.Name == "phase":
+			sawPhase = true
+		case e.Name == "round" && e.Ph == "i":
+			sawRound = true
+		}
+	}
+	if !sawPlan || !sawPhase || !sawRound {
+		t.Errorf("trace lacks the span hierarchy: plan=%v phase=%v round=%v", sawPlan, sawPhase, sawRound)
+	}
+}
+
+// TestRunProfiles runs the CLI with -profile-cpu / -profile-mem and
+// checks both files are written and non-empty.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out bytes.Buffer
+	if err := run([]string{"-family", "gnp", "-n", "512", "-force",
+		"-profile-cpu", cpu, "-profile-mem", mem}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunMetricsAddr exercises the full flag path: the run prints the
+// bound address and serves until the deferred close, so a bad address
+// must fail and a good one must not.
+func TestRunMetricsAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "grid", "-n", "64", "-metrics-addr", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "metrics  : serving http://127.0.0.1:") {
+		t.Errorf("output does not report the metrics address:\n%s", out.String())
+	}
+	if err := run([]string{"-family", "grid", "-n", "64", "-metrics-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("bad -metrics-addr must fail")
+	}
+}

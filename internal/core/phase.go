@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
 	"netdecomp/internal/randx"
 )
 
@@ -158,6 +159,15 @@ type phaseRunner struct {
 	workers  int
 	sendBuf  []sendMsg
 	shards   []shardScratch
+
+	// Telemetry histograms, set by RunWith when an Exec.Recorder is
+	// attached: sender-frontier size of every executed broadcast round, and
+	// per phase the number of rounds that carried messages vs. stayed
+	// quiet. All nil (and never touched beyond a nil test) with telemetry
+	// off.
+	obsFrontier    *obs.Histogram
+	obsPhaseActive *obs.Histogram
+	obsPhaseQuiet  *obs.Histogram
 }
 
 // newPhaseRunner allocates scratch for graphs on n vertices.
@@ -270,7 +280,11 @@ func (p *phaseRunner) runSparse(alive []bool, aliveList []int32, rounds int, emi
 	p.rowStart = append(p.rowStart, int64(len(p.cAdj)))
 
 	emitted := 0
+	activeRounds := 0
 	for round := 0; round < rounds; round++ {
+		if p.obsFrontier != nil {
+			p.obsFrontier.Observe(int64(len(p.frontier)))
+		}
 		// Freeze the sending states so a value moves one hop per round.
 		for _, v := range p.frontier {
 			p.snap[v] = p.state[v]
@@ -300,11 +314,16 @@ func (p *phaseRunner) runSparse(alive []bool, aliveList []int32, rounds int, emi
 			// which res.rounds already reflects.
 			break
 		}
+		activeRounds++
 	}
 	if emit != nil {
 		for ; emitted < rounds; emitted++ {
 			emit(0, 0)
 		}
+	}
+	if p.obsPhaseActive != nil {
+		p.obsPhaseActive.Observe(int64(activeRounds))
+		p.obsPhaseQuiet.Observe(int64(rounds - activeRounds))
 	}
 
 	res.joined = res.joined[:0]

@@ -7,6 +7,7 @@ import (
 
 	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
 )
 
 // Exec bundles the execution-context concerns of a run — cancellation and
@@ -32,6 +33,15 @@ type Exec struct {
 	// Workers caps the worker pool of the parallel mode; 0 or negative
 	// means GOMAXPROCS. Ignored unless Parallel is set.
 	Workers int
+	// Recorder, when non-nil, reports the run into the telemetry layer:
+	// one span per phase (nested under the recorder's parent span, which
+	// decomp.Plan.Run roots at the plan span), the engine.* round counters
+	// and histograms mirroring what the dist engine records for the same
+	// workload, and the core.* histograms the phase runner fills
+	// (per-round frontier sizes, per-phase active/quiet round counts).
+	// With a nil Recorder the run performs zero telemetry work beyond one
+	// nil test per round — the hot path stays allocation-free.
+	Recorder *obs.Recorder
 }
 
 // ctx returns the effective context.
@@ -104,17 +114,30 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 		maxPhases = 64*sched.budget + 1024
 	}
 
-	// The observer sees a monotone global round index across phases.
+	rec := x.Recorder
+	runner.obsFrontier = rec.Histogram("core.round.frontier")
+	runner.obsPhaseActive = rec.Histogram("core.phase.rounds.active")
+	runner.obsPhaseQuiet = rec.Histogram("core.phase.rounds.quiet")
+	phases := rec.Counter("core.phases")
+
+	// The observer sees a monotone global round index across phases. The
+	// round recorder is re-derived per phase so its instant events nest
+	// under that phase's span; with telemetry off it stays nil and emit is
+	// only built for the observer (or not at all).
 	roundIdx := 0
+	var roundRec *obs.RoundRecorder
 	var emit func(msgs, words int64)
-	if x.Observer != nil {
+	if x.Observer != nil || rec != nil {
 		emit = func(msgs, words int64) {
-			x.Observer(dist.RoundStats{
-				Round:    roundIdx,
-				Messages: msgs,
-				Words:    words,
-				Active:   aliveCount,
-			})
+			if x.Observer != nil {
+				x.Observer(dist.RoundStats{
+					Round:    roundIdx,
+					Messages: msgs,
+					Words:    words,
+					Active:   aliveCount,
+				})
+			}
+			roundRec.Record(roundIdx, msgs, words, aliveCount)
 			roundIdx++
 		}
 	}
@@ -134,6 +157,13 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 			beta = sched.betas[phase]
 		}
 		dec.AlivePerPhase = append(dec.AlivePerPhase, aliveCount)
+
+		var phaseSpan *obs.Span
+		if rec != nil {
+			phases.Inc()
+			phaseSpan = rec.Span("phase", obs.KV{K: "phase", V: int64(phase)}, obs.KV{K: "alive", V: int64(aliveCount)})
+			roundRec = rec.Under(phaseSpan).Rounds()
+		}
 
 		drawRadiiSparse(o2.Seed, phase, aliveList, beta, runner.radius)
 		dec.TruncationEvents += countTruncationsSparse(aliveList, runner.radius, sched.k)
@@ -188,6 +218,7 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 			}
 			aliveList = aliveList[:k]
 		}
+		phaseSpan.End()
 		dec.PhasesUsed++
 	}
 	dec.AlivePerPhase = append(dec.AlivePerPhase, aliveCount)

@@ -28,13 +28,15 @@ func init() {
 	Register(Func{"ball-carving", ballCarving})
 }
 
-// engineOptions maps the scheduler/observer part of a Config onto the
-// engine.
+// engineOptions maps the scheduler/observer/telemetry part of a Config
+// onto the engine. With a nil Recorder the round recorder stays nil and
+// the engine's telemetry path is a single pointer test per round.
 func engineOptions(cfg Config) dist.Options {
 	return dist.Options{
 		Parallel: cfg.Parallel,
 		Workers:  cfg.Workers,
 		Observer: cfg.Observer,
+		Recorder: cfg.Recorder.Rounds(),
 	}
 }
 
@@ -71,6 +73,7 @@ func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, g
 			Observer: cfg.Observer,
 			Parallel: cfg.Parallel,
 			Workers:  cfg.Workers,
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,155 @@
+package decomp_test
+
+import (
+	"context"
+	"testing"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
+)
+
+// TestPlanRunRecorder pins the plan-level telemetry contract on the
+// engine path: Run wraps the execution in a plan span, the engine's
+// per-round events nest beneath it, and the registry collects the
+// engine.* counters and the per-algorithm latency histogram. It also
+// pins that attaching a recorder never perturbs the PlanKey.
+func TestPlanRunRecorder(t *testing.T) {
+	g := gen.Grid(8, 8)
+	reg := obs.NewRegistry()
+	trc := obs.NewTracer()
+	rec := obs.New(reg, trc)
+	pl, err := decomp.Compile("elkin-neiman/dist",
+		decomp.WithSeed(3), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := pl.WithRecorder(rec)
+	if instrumented.PlanKey() != pl.PlanKey() {
+		t.Fatal("WithRecorder changed the PlanKey")
+	}
+	if _, err := instrumented.Run(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("plan.runs").Value(); got != 1 {
+		t.Fatalf("plan.runs = %d, want 1", got)
+	}
+	rounds := reg.Counter("engine.rounds").Value()
+	if rounds <= 0 {
+		t.Fatalf("engine.rounds = %d, want > 0", rounds)
+	}
+	if got := reg.Histogram("plan.elkin-neiman/dist.ns").Snapshot().Count; got != 1 {
+		t.Fatalf("plan latency histogram count = %d, want 1", got)
+	}
+	if got := reg.Histogram("engine.round.messages").Snapshot().Count; got != rounds {
+		t.Fatalf("engine.round.messages count = %d, want %d", got, rounds)
+	}
+
+	evs := trc.Events()
+	if len(evs) < 3 || evs[0].Name != "plan/elkin-neiman/dist" || evs[0].Ph != 'B' {
+		t.Fatalf("trace must open with the plan span, got %+v", evs[:min(3, len(evs))])
+	}
+	var roundEvents int64
+	for _, e := range evs {
+		if e.Name == "round" && e.Ph == 'i' {
+			if e.TID != evs[0].TID {
+				t.Fatalf("round event off the plan span's thread: %+v", e)
+			}
+			roundEvents++
+		}
+	}
+	if roundEvents != rounds {
+		t.Fatalf("trace carries %d round events, want %d", roundEvents, rounds)
+	}
+	if last := evs[len(evs)-1]; last.Ph != 'E' || last.Name != "plan/elkin-neiman/dist" {
+		t.Fatalf("trace must close with the plan span, got %+v", last)
+	}
+}
+
+// traceOf runs the plan against a fresh tracer and returns the event
+// stream with timestamps normalized to zero — everything about the
+// stream except wall-clock time.
+func traceOf(t *testing.T, pl *decomp.Plan, g graph.Interface) []obs.Event {
+	t.Helper()
+	trc := obs.NewTracer()
+	if _, err := pl.WithRecorder(obs.New(obs.NewRegistry(), trc)).Run(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	evs := trc.Events()
+	for i := range evs {
+		evs[i].TS = 0
+		// The scheduler choice is a semantic Config field, so the PlanKey
+		// differs across the plans under comparison by construction;
+		// normalize it like the timestamps.
+		for a := 0; a < evs[i].NArgs; a++ {
+			if evs[i].Args[a].K == "plankey" {
+				evs[i].Args[a].V = 0
+			}
+		}
+	}
+	return evs
+}
+
+// TestTelemetryDeterminism is the telemetry half of the bit-identical
+// scheduler contract: a fixed-seed run emits exactly the same span/event
+// stream — names, phases, nesting, per-round argument values — under the
+// sequential and parallel schedulers of both execution paths, for any
+// worker count. Only timestamps may differ.
+func TestTelemetryDeterminism(t *testing.T) {
+	// Large enough that the sim's receiver-sharded parallel rounds engage
+	// (the frontier starts at n, above the parallel threshold).
+	g := gen.Grid(64, 64)
+	for _, base := range []struct {
+		label string
+		opts  []decomp.Option
+	}{
+		{"sim", nil},
+		{"engine", []decomp.Option{decomp.WithEngine()}},
+	} {
+		opts := append([]decomp.Option{decomp.WithSeed(9), decomp.WithForceComplete()}, base.opts...)
+		seqPlan, err := decomp.Compile("elkin-neiman", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := traceOf(t, seqPlan, g)
+		if len(want) == 0 {
+			t.Fatalf("%s: sequential run emitted no events", base.label)
+		}
+		for workers := 1; workers <= 4; workers++ {
+			parPlan, err := decomp.Compile("elkin-neiman",
+				append(append([]decomp.Option{}, opts...), decomp.WithParallel(workers))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := traceOf(t, parPlan, g)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d events, sequential emitted %d",
+					base.label, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: event %d differs:\n  par: %+v\n  seq: %+v",
+						base.label, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUnobservedRunHasNoTelemetry is the disabled-path contract at the
+// plan level: without a recorder nothing is recorded anywhere.
+func TestUnobservedRunHasNoTelemetry(t *testing.T) {
+	g := gen.Grid(4, 4)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(1), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Recorder() != nil {
+		t.Fatal("fresh plan must carry no recorder")
+	}
+	if _, err := pl.Run(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+}

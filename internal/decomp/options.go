@@ -1,6 +1,9 @@
 package decomp
 
-import "netdecomp/internal/dist"
+import (
+	"netdecomp/internal/dist"
+	"netdecomp/internal/obs"
+)
 
 // Config is the resolved option set a Decomposer receives. Every algorithm
 // reads the fields it understands and ignores the rest, so one option list
@@ -48,6 +51,15 @@ type Config struct {
 	// purely sequential yardsticks (Linial–Saks, MPX-sequential, ball
 	// carving) do not emit callbacks.
 	Observer func(dist.RoundStats)
+	// Recorder attaches the unified telemetry layer (internal/obs): Plan.Run
+	// wraps the execution in a span keyed by PlanKey, observes its latency
+	// into the per-algorithm plan.<name>.ns histogram, and hands the
+	// algorithm a recorder rooted at that span — the engine and the phase
+	// simulation then record rounds, messages, words and frontier sizes
+	// into the same registry. Like Observer, the Recorder is an execution
+	// side channel: it is excluded from the PlanKey, and nil disables all
+	// telemetry at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Option is a functional option for Decompose.
@@ -117,6 +129,12 @@ func WithParallel(workers int) Option {
 // WithObserver streams per-round statistics to fn as the run executes.
 func WithObserver(fn func(dist.RoundStats)) Option {
 	return func(c *Config) { c.Observer = fn }
+}
+
+// WithRecorder attaches a telemetry recorder to the run (see
+// Config.Recorder). A nil recorder leaves telemetry disabled.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(c *Config) { c.Recorder = rec }
 }
 
 // WithConfig replaces the whole Config with an already-resolved one. It is

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
 )
 
 // Plan is the immutable compiled form of one decomposition configuration:
@@ -162,15 +164,54 @@ func (p *Plan) WithObserver(fn func(dist.RoundStats)) *Plan {
 	return &cp
 }
 
+// WithRecorder returns a copy of the plan reporting into the telemetry
+// recorder (see Config.Recorder). Like observation, telemetry never
+// affects the PlanKey.
+func (p *Plan) WithRecorder(rec *obs.Recorder) *Plan {
+	cp := *p
+	cp.cfg.Recorder = rec
+	return &cp
+}
+
+// Recorder returns the plan's attached telemetry recorder (nil when
+// telemetry is disabled).
+func (p *Plan) Recorder() *obs.Recorder { return p.cfg.Recorder }
+
 // Run executes the compiled plan on g. It is the cheap half of the split
 // API: no option resolution, no registry lookup, no validation — just the
 // algorithm. Run is safe to call concurrently from multiple goroutines.
+//
+// With a Recorder attached, the execution is wrapped in a span named
+// plan/<algorithm> carrying the PlanKey and seed, its wall-clock latency
+// lands in the plan.<algorithm>.ns histogram, and the algorithm receives
+// a recorder rooted at that span — so engine rounds and phase spans nest
+// beneath the plan in the exported trace.
 func (p *Plan) Run(ctx context.Context, g graph.Interface) (*Partition, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cr, ok := p.d.(ConfigRunner); ok {
-		return cr.DecomposeConfig(ctx, g, p.cfg)
+	rec := p.cfg.Recorder
+	if rec == nil {
+		return p.run(ctx, g, p.cfg)
 	}
-	return p.d.Decompose(ctx, g, WithConfig(p.cfg))
+	rec.Counter("plan.runs").Inc()
+	span := rec.Span("plan/"+p.name, obs.KV{K: "plankey", V: int64(p.key)}, obs.KV{K: "seed", V: int64(p.cfg.Seed)})
+	cfg := p.cfg
+	cfg.Recorder = rec.Under(span)
+	start := time.Now()
+	part, err := p.run(ctx, g, cfg)
+	rec.Histogram("plan." + p.name + ".ns").Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		rec.Counter("plan.errors").Inc()
+	}
+	span.End()
+	return part, err
+}
+
+// run dispatches to the Decomposer with the given effective Config.
+func (p *Plan) run(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
+	if cr, ok := p.d.(ConfigRunner); ok {
+		return cr.DecomposeConfig(ctx, g, cfg)
+	}
+	return p.d.Decompose(ctx, g, WithConfig(cfg))
 }

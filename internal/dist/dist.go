@@ -39,6 +39,8 @@
 // panic, so a buggy node program cannot take down a harness process.
 package dist
 
+import "netdecomp/internal/obs"
+
 // WordCounter constrains engine payloads: every message type reports its
 // own size in machine words, which is what the CONGEST O(1)-words-per-
 // message guarantees of the paper are measured against.
@@ -104,6 +106,15 @@ type Options struct {
 	// WithObserver. The callback runs on the engine goroutine: a slow
 	// observer slows the run, and it must not call back into the engine.
 	Observer func(RoundStats)
+	// Recorder, when non-nil, accounts every executed round into the
+	// telemetry layer: engine.rounds/messages/words counters, per-round
+	// message and active-node histograms, and (when the recorder carries a
+	// traced span) one instant trace event per round. It reports the same
+	// numbers as RoundStats, into the unified registry instead of a
+	// callback. The disabled path is a single nil test per round — the
+	// engine stays allocation-free with telemetry off, which
+	// BENCH_obs.json records and CI gates.
+	Recorder *obs.RoundRecorder
 }
 
 // Metrics is the CONGEST account of one Run.

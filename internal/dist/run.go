@@ -263,6 +263,7 @@ func (e *engine[M]) commit(round, active int) error {
 	if e.o.Observer != nil {
 		e.o.Observer(stats)
 	}
+	e.o.Recorder.Record(round, msgs, words, active)
 	// Swap mailboxes; the delivered round's rows become next round's
 	// (recycled) arena.
 	e.cur.reset()

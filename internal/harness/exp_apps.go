@@ -10,6 +10,7 @@ import (
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/dist"
 	"netdecomp/internal/gen"
+	"netdecomp/internal/obs"
 	"netdecomp/internal/stats"
 	"netdecomp/internal/verify"
 )
@@ -139,6 +140,12 @@ func T9Applications(cfg Config) (*Table, error) {
 // nodes still live per round and the fraction of rounds that carry no
 // messages at all — the sparsity that makes an O(frontier + messages)
 // round loop pay off over an O(n) scan.
+//
+// The round profile is sourced from the telemetry registry: every run
+// reports through a dist.Options.Recorder into the engine.round.*
+// histograms, and the table's quantiles, means and quiet-round counts are
+// read back out of the same instruments the /metrics endpoint would
+// export — no hand-rolled observer aggregation.
 func T10CongestAccounting(cfg Config) (*Table, error) {
 	cfg = cfg.normalize()
 	trials := cfg.trials(3, 10)
@@ -148,7 +155,7 @@ func T10CongestAccounting(cfg Config) (*Table, error) {
 		Title: fmt.Sprintf("CONGEST accounting and round profile on the message-passing engine (%d trials)", trials),
 		Claim: "each message consists of O(1) words (≤ 2 entries of 2 words); totals grow with k·m per phase; most rounds move a tiny active frontier",
 		Columns: []string{"n", "m", "k", "rounds(mean)", "messages(mean)", "words(mean)",
-			"maxMsgWords", "msgs/(m·rounds)", "active/n(mean)", "quiet rounds"},
+			"maxMsgWords", "msgs/(m·rounds)", "roundMsgs p50/p90/p99", "active/n(mean)", "quiet rounds"},
 	}
 	for _, n := range ns {
 		g, err := gen.Build(gen.FamilyGnp, n, cfg.Seed+uint64(n))
@@ -156,20 +163,15 @@ func T10CongestAccounting(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		k := int(math.Ceil(math.Log(float64(g.N()))))
+		// One registry per graph size; all trials accumulate into it.
+		reg := obs.NewRegistry()
+		rr := obs.New(reg, nil).Rounds()
 		var rounds, msgs, words []float64
 		maxWords := 0
-		var activeSum float64
-		var quietRounds, totalRounds int
 		for i := 0; i < trials; i++ {
 			dec, _, err := core.RunDistributedWithMetrics(context.Background(), g,
 				core.Options{K: k, C: 8, Seed: cfg.Seed + uint64(i)*911},
-				dist.Options{Parallel: true, Observer: func(rs dist.RoundStats) {
-					activeSum += float64(rs.Active) / float64(g.N())
-					if rs.Messages == 0 {
-						quietRounds++
-					}
-					totalRounds++
-				}})
+				dist.Options{Parallel: true, Recorder: rr})
 			if err != nil {
 				return nil, err
 			}
@@ -180,13 +182,30 @@ func T10CongestAccounting(cfg Config) (*Table, error) {
 				maxWords = dec.MaxMsgWords
 			}
 		}
+		roundMsgs := reg.Histogram("engine.round.messages").Snapshot()
+		roundActive := reg.Histogram("engine.round.active").Snapshot()
+		totalRounds := reg.Counter("engine.rounds").Value()
+		var quiet int64
+		for _, b := range roundMsgs.Buckets {
+			if b.Lo <= 0 { // bucket 0 collects the zero-message rounds
+				quiet = b.Count
+			}
+		}
 		rs, ms := stats.Summarize(rounds), stats.Summarize(msgs)
 		density := ms.Mean / (float64(g.M()) * rs.Mean)
 		t.AddRow(fmtInt(g.N()), fmtInt(g.M()), fmtInt(k), fmtF(rs.Mean), fmtF(ms.Mean),
 			fmtF(stats.Summarize(words).Mean), fmtInt(maxWords), fmtF(density),
-			fmtF(activeSum/float64(totalRounds)), fmtF(float64(quietRounds)/float64(totalRounds)))
+			fmtQuantiles(roundMsgs), fmtF(roundActive.Mean()/float64(g.N())),
+			fmtF(float64(quiet)/float64(totalRounds)))
 	}
 	t.AddNote("maxMsgWords must be ≤ 4; msgs/(m·rounds) ≤ 2 shows the change-gated forwarding stays below one message per directed edge per round")
 	t.AddNote("active/n and the quiet-round fraction profile the frontier sparsity the arena engine and worklist simulation exploit")
+	t.AddNote("round profile read from the engine.round.* telemetry histograms (log-bucketed: quantiles within 2x)")
 	return t, nil
+}
+
+// fmtQuantiles renders a histogram's p50/p90/p99 triple for a table cell.
+func fmtQuantiles(s obs.HistogramSnapshot) string {
+	return fmt.Sprintf("%s/%s/%s",
+		fmtF(s.Quantile(0.5)), fmtF(s.Quantile(0.9)), fmtF(s.Quantile(0.99)))
 }

@@ -59,5 +59,9 @@ func T14RegistryHeadToHead(cfg Config) (*Table, error) {
 	st := SessionStats()
 	t.AddNote("serving session to date: %d hits, %d misses, %d dedups (repeated (graph, plan, seed) work is cached)",
 		st.Hits, st.Misses, st.Dedups)
+	if h := sharedSession.Registry().Histogram("session.miss.ns").Snapshot(); h.Count > 0 {
+		t.AddNote("session execution latency to date (ns, from the telemetry registry): p50/p90/p99 = %s over %d misses",
+			fmtQuantiles(h), h.Count)
+	}
 	return t, nil
 }

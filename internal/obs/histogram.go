@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+)
+
+// numBuckets covers the full int64 range: bucket 0 holds values ≤ 0 and
+// bucket i (1 ≤ i ≤ 64) holds values in [2^(i−1), 2^i − 1].
+const numBuckets = 65
+
+// Histogram is a lock-free log-bucketed histogram of int64 observations
+// (latencies in nanoseconds, message counts, frontier sizes). Buckets are
+// powers of two, so Observe is two atomic adds and a CAS-bounded min/max
+// update, concurrent-writer safe with no lock. Quantiles are estimated
+// from the bucket counts by linear interpolation inside the bucket,
+// clamped to the observed min/max — at most a factor-2 relative error,
+// which is exactly the fidelity a latency summary needs.
+//
+// The zero value is ready to use; a nil *Histogram discards observations.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// extrema holds 0 (min/max unset), 1 (the first observer is seeding
+	// them) or 2 (seeded). The explicit state machine exists because 0 is
+	// a legitimate minimum: a plain "count == 1 seeds" protocol would let
+	// a concurrent second observer compare against the zero value and
+	// skip its own update.
+	extrema atomic.Int32
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for h.extrema.Load() != 2 {
+		if h.extrema.CompareAndSwap(0, 1) {
+			h.min.Store(v)
+			h.max.Store(v)
+			h.extrema.Store(2)
+			h.buckets[bucketOf(v)].Add(1)
+			return
+		}
+		// Another goroutine is seeding; it finishes in two stores.
+		runtime.Gosched()
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count values
+// fell in [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets []Bucket // non-empty buckets, ascending
+}
+
+// Snapshot copies the histogram's current state. Counts are read bucket
+// by bucket, so a snapshot taken under concurrent writes is a consistent
+// histogram of *some* interleaving (totals may trail the bucket sum by
+// in-flight observations — harmless for monitoring).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := int64(0), int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			if i < 64 {
+				hi = int64(1)<<i - 1
+			} else {
+				hi = math.MaxInt64
+			}
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts:
+// the bucket holding the rank is located and the value interpolated
+// linearly inside its [Lo, Hi] range, clamped to the observed min/max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	seen := float64(0)
+	for _, b := range s.Buckets {
+		if rank < seen+float64(b.Count) {
+			lo, hi := float64(b.Lo), float64(b.Hi)
+			if lo < float64(s.Min) {
+				lo = float64(s.Min)
+			}
+			if hi > float64(s.Max) {
+				hi = float64(s.Max)
+			}
+			if hi <= lo || b.Count == 1 {
+				return lo
+			}
+			frac := (rank - seen) / float64(b.Count-1)
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(b.Count)
+	}
+	return float64(s.Max)
+}

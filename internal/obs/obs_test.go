@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Fatalf("sum = %d, want 500500", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	if m := s.Mean(); m != 500.5 {
+		t.Fatalf("mean = %v, want 500.5", m)
+	}
+	// Log buckets give at most a factor-2 relative error on quantiles.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.9, 900}, {0.99, 990},
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%v = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 1000 {
+		t.Errorf("q1 = %v, want 1000", q)
+	}
+}
+
+func TestHistogramSingleAndNonPositive(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(64)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Min != -5 || s.Max != 64 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v, want 2 (non-positive + [64,127])", s.Buckets)
+	}
+	if q := s.Quantile(1); q != 64 {
+		t.Fatalf("q1 = %v, want 64", q)
+	}
+	var empty Histogram
+	if s := empty.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestRegistrySharing(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.y")
+	b := r.Counter("x.y")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Inc()
+	if r.Counter("x.y").Value() != 1 {
+		t.Fatal("shared counter lost its value")
+	}
+	r.Gauge("g").Set(3)
+	r.Histogram("h.ns").Observe(100)
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("snapshot sizes = %d/%d/%d", len(s.Counters), len(s.Gauges), len(s.Histograms))
+	}
+	if s.Counters[0].Name != "x.y" || s.Counters[0].Value != 1 {
+		t.Fatalf("counter snapshot = %+v", s.Counters[0])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.rounds").Add(12)
+	r.Gauge("session.inflight").Set(2)
+	for i := int64(1); i <= 100; i++ {
+		r.Histogram("session.hit.ns").Observe(i * 1000)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE engine_rounds counter\nengine_rounds 12\n",
+		"# TYPE session_inflight gauge\nsession_inflight 2\n",
+		"# TYPE session_hit_ns summary\n",
+		`session_hit_ns{quantile="0.5"}`,
+		`session_hit_ns{quantile="0.99"}`,
+		"session_hit_ns_sum 5050000\n",
+		"session_hit_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpvarMap(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Histogram("h").Observe(10)
+	m := r.ExpvarMap()
+	if m["c"] != int64(5) {
+		t.Fatalf("c = %v", m["c"])
+	}
+	hm, ok := m["h"].(map[string]any)
+	if !ok || hm["count"] != int64(1) {
+		t.Fatalf("h = %#v", m["h"])
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("expvar map not JSON-marshalable: %v", err)
+	}
+}
+
+func TestTracerSpansAndChromeExport(t *testing.T) {
+	trc := NewTracer()
+	job := trc.Start("job", KV{"key", 1})
+	plan := job.Child("plan/elkin-neiman", KV{"seed", 7})
+	plan.Event("round", KV{"round", 0}, KV{"messages", 10})
+	plan.End()
+	job.End()
+
+	evs := trc.Events()
+	wantPh := []byte{'B', 'B', 'i', 'E', 'E'}
+	if len(evs) != len(wantPh) {
+		t.Fatalf("%d events, want %d", len(evs), len(wantPh))
+	}
+	for i, e := range evs {
+		if e.Ph != wantPh[i] {
+			t.Errorf("event %d phase %c, want %c", i, e.Ph, wantPh[i])
+		}
+		if e.TID != 1 {
+			t.Errorf("event %d tid %d, want 1 (same virtual thread)", i, e.TID)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TID  int64            `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("chrome trace has %d events, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[2].Args["messages"] != 10 {
+		t.Fatalf("instant args = %+v", doc.TraceEvents[2].Args)
+	}
+}
+
+func TestRootSpansGetDistinctTIDs(t *testing.T) {
+	trc := NewTracer()
+	a := trc.Start("a")
+	b := trc.Start("b")
+	a.End()
+	b.End()
+	evs := trc.Events()
+	if evs[0].TID == evs[1].TID {
+		t.Fatal("root spans must land on distinct virtual threads")
+	}
+}
+
+// TestNilSafety is the disabled-path contract: every operation on every
+// nil instrument must be a silent no-op.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(1)
+	_ = c.Value()
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	_ = g.Value()
+	var h *Histogram
+	h.Observe(1)
+	_ = h.Snapshot()
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	_ = reg.Snapshot()
+	var trc *Tracer
+	sp := trc.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.End()
+	sp.Event("e")
+	if sp.Child("c") != nil {
+		t.Fatal("nil span must return nil child")
+	}
+	var rec *Recorder
+	if New(nil, nil) != nil {
+		t.Fatal("New(nil, nil) must be nil (disabled)")
+	}
+	if rec.Registry() != nil || rec.Tracer() != nil || rec.Counter("x") != nil ||
+		rec.Gauge("x") != nil || rec.Histogram("x") != nil || rec.Span("x") != nil ||
+		rec.Under(nil) != nil || rec.Rounds() != nil {
+		t.Fatal("nil recorder must be fully inert")
+	}
+	var rr *RoundRecorder
+	rr.Record(0, 1, 2, 3)
+}
+
+func TestRecorderUnderNesting(t *testing.T) {
+	trc := NewTracer()
+	rec := New(NewRegistry(), trc)
+	job := rec.Span("job")
+	inner := rec.Under(job)
+	plan := inner.Span("plan")
+	plan.End()
+	job.End()
+	evs := trc.Events()
+	if len(evs) != 4 || evs[0].TID != evs[1].TID {
+		t.Fatalf("plan span must share the job span's virtual thread: %+v", evs)
+	}
+}
+
+func TestRoundRecorderRecords(t *testing.T) {
+	reg := NewRegistry()
+	trc := NewTracer()
+	rec := New(reg, trc)
+	span := rec.Span("plan")
+	rr := rec.Under(span).Rounds()
+	rr.Record(0, 10, 20, 5)
+	rr.Record(1, 0, 0, 3)
+	span.End()
+
+	if got := reg.Counter("engine.rounds").Value(); got != 2 {
+		t.Fatalf("engine.rounds = %d, want 2", got)
+	}
+	if got := reg.Counter("engine.messages").Value(); got != 10 {
+		t.Fatalf("engine.messages = %d, want 10", got)
+	}
+	if got := reg.Counter("engine.words").Value(); got != 20 {
+		t.Fatalf("engine.words = %d, want 20", got)
+	}
+	s := reg.Histogram("engine.round.active").Snapshot()
+	if s.Count != 2 || s.Min != 3 || s.Max != 5 {
+		t.Fatalf("engine.round.active = %+v", s)
+	}
+	evs := trc.Events()
+	// span B, two round instants, span E.
+	if len(evs) != 4 || evs[1].Name != "round" || evs[2].Name != "round" {
+		t.Fatalf("trace = %+v", evs)
+	}
+	if evs[1].NArgs != 4 || evs[1].Args[1].V != 10 {
+		t.Fatalf("round event args = %+v", evs[1].Args)
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines; run
+// under -race in CI it is the concurrent-writes half of the telemetry
+// test matrix.
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	trc := NewTracer()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := New(reg, trc)
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared.counter").Inc()
+				reg.Gauge("shared.gauge").Set(int64(i))
+				reg.Histogram("shared.hist").Observe(int64(i%64 + 1))
+				if i%100 == 0 {
+					sp := rec.Span("work", KV{"worker", int64(w)})
+					rr := rec.Under(sp).Rounds()
+					rr.Record(i, int64(i), int64(2*i), w)
+					sp.End()
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared.counter").Value(); got != goroutines*iters {
+		t.Fatalf("shared.counter = %d, want %d", got, goroutines*iters)
+	}
+	s := reg.Histogram("shared.hist").Snapshot()
+	if s.Count != goroutines*iters {
+		t.Fatalf("shared.hist count = %d, want %d", s.Count, goroutines*iters)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}

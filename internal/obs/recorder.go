@@ -1,0 +1,147 @@
+package obs
+
+// Recorder is the {Registry, Tracer} bundle one run reports into, plus
+// the span new work nests under. It is what the layers hand each other:
+// the session derives a per-job recorder under the job span, decomp's
+// Plan.Run derives one under the plan span, and core's phase loop and the
+// dist engine record through prebaked views so their hot loops never
+// resolve a metric by name.
+//
+// A nil *Recorder is fully disabled: every method is a no-op returning
+// nil instruments, so instrumented code is written unconditionally.
+type Recorder struct {
+	reg    *Registry
+	trc    *Tracer
+	parent *Span
+}
+
+// New bundles a registry and a tracer (either may be nil) into a
+// recorder. New(nil, nil) returns nil — completely disabled.
+func New(reg *Registry, trc *Tracer) *Recorder {
+	if reg == nil && trc == nil {
+		return nil
+	}
+	return &Recorder{reg: reg, trc: trc}
+}
+
+// Registry returns the recorder's registry (nil when disabled).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Tracer returns the recorder's tracer (nil when disabled or untraced).
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.trc
+}
+
+// Counter resolves a counter in the recorder's registry.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Counter(name)
+}
+
+// Gauge resolves a gauge in the recorder's registry.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Gauge(name)
+}
+
+// Histogram resolves a histogram in the recorder's registry.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Histogram(name)
+}
+
+// Span opens a span: a child of the recorder's parent span when one is
+// set (see Under), else a root span on the tracer. Returns nil (no-op)
+// when the recorder has no tracer.
+func (r *Recorder) Span(name string, args ...KV) *Span {
+	if r == nil {
+		return nil
+	}
+	if r.parent != nil {
+		return r.parent.Child(name, args...)
+	}
+	return r.trc.Start(name, args...)
+}
+
+// Under returns a derived recorder whose spans nest beneath s: the same
+// registry and tracer, re-rooted. Under(nil) drops the parent; a nil
+// recorder stays nil. This is how the hierarchy
+// session job → plan run → phase → round is threaded without any layer
+// knowing its caller.
+func (r *Recorder) Under(s *Span) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{reg: r.reg, trc: r.trc, parent: s}
+}
+
+// RoundRecorder is the per-round hot-path view of a Recorder: the engine
+// and the phase simulation call Record once per executed round, and all
+// instruments are resolved ahead of time so the call is a handful of
+// atomic adds — and exactly one pointer test when telemetry is off
+// (nil *RoundRecorder).
+type RoundRecorder struct {
+	rounds   *Counter
+	messages *Counter
+	words    *Counter
+
+	roundMsgs   *Histogram // messages per round
+	roundActive *Histogram // active (live) nodes per round
+
+	span *Span // round events attach here when tracing
+}
+
+// Rounds builds the engine-facing round recorder: counters
+// engine.rounds/messages/words, histograms engine.round.messages and
+// engine.round.active, with per-round instant events under the
+// recorder's parent span when tracing. Returns nil when r is nil.
+func (r *Recorder) Rounds() *RoundRecorder {
+	if r == nil {
+		return nil
+	}
+	return &RoundRecorder{
+		rounds:      r.Counter("engine.rounds"),
+		messages:    r.Counter("engine.messages"),
+		words:       r.Counter("engine.words"),
+		roundMsgs:   r.Histogram("engine.round.messages"),
+		roundActive: r.Histogram("engine.round.active"),
+		span:        r.parent,
+	}
+}
+
+// Record accounts one executed round. It is the only telemetry call on
+// the engine's per-round path; a nil receiver returns immediately.
+func (rr *RoundRecorder) Record(round int, msgs, words int64, active int) {
+	if rr == nil {
+		return
+	}
+	rr.rounds.Inc()
+	rr.messages.Add(msgs)
+	rr.words.Add(words)
+	rr.roundMsgs.Observe(msgs)
+	rr.roundActive.Observe(int64(active))
+	if rr.span != nil {
+		var e Event
+		e.Name = "round"
+		e.Ph = 'i'
+		e.TS = rr.span.t.now()
+		e.TID = rr.span.tid
+		e.Args = [maxEventArgs]KV{{"round", int64(round)}, {"messages", msgs}, {"words", words}, {"active", int64(active)}}
+		e.NArgs = 4
+		rr.span.t.emit(e)
+	}
+}

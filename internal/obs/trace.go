@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxEventArgs is the fixed annotation capacity of one event; emission
+// never allocates per event beyond the event slot itself.
+const maxEventArgs = 4
+
+// Event is one trace record: a span boundary ('B'/'E') or an instant
+// ('i'). TS is nanoseconds since the tracer epoch; TID is the virtual
+// thread — every root span gets its own, children inherit it, so
+// chrome://tracing renders each concurrent job as its own stacked track.
+type Event struct {
+	Name  string
+	Ph    byte
+	TS    int64
+	TID   int64
+	Args  [maxEventArgs]KV
+	NArgs int
+}
+
+// Tracer is an append-only trace-event log. Emission is a mutex-guarded
+// append — spans live on cold paths (job, plan, phase) and once-per-round
+// events, never per-message — and the log is exported with
+// WriteChromeTrace. A nil *Tracer is fully disabled: Start returns a nil
+// *Span and every span method on nil is a no-op.
+type Tracer struct {
+	epoch   time.Time
+	nextTID atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an empty tracer whose timestamps count from now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// now returns nanoseconds since the epoch.
+func (t *Tracer) now() int64 {
+	return int64(time.Since(t.epoch))
+}
+
+// emit appends one event.
+func (t *Tracer) emit(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the log so far. Tests normalize the TS fields
+// before comparing streams across schedulers; everything else — names,
+// phases, tids, args, order — is deterministic for a deterministic run.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Span is one open trace region. End closes it; Child and Event hang
+// nested regions and instants onto the same virtual thread. All methods
+// are no-ops on a nil *Span, so a disabled tracer costs one nil test at
+// each (cold) call site.
+type Span struct {
+	t    *Tracer
+	name string
+	tid  int64
+}
+
+// Start opens a root span on a fresh virtual thread.
+func (t *Tracer) Start(name string, args ...KV) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, tid: t.nextTID.Add(1)}
+	t.emit(spanEvent(name, 'B', t.now(), s.tid, args))
+	return s
+}
+
+// Child opens a nested span on the same virtual thread.
+func (s *Span) Child(name string, args ...KV) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{t: s.t, name: name, tid: s.tid}
+	s.t.emit(spanEvent(name, 'B', s.t.now(), s.tid, args))
+	return c
+}
+
+// Event records an instant inside the span.
+func (s *Span) Event(name string, args ...KV) {
+	if s == nil {
+		return
+	}
+	s.t.emit(spanEvent(name, 'i', s.t.now(), s.tid, args))
+}
+
+// End closes the span. Close order is the caller's responsibility (last
+// opened, first ended), matching the Chrome trace B/E pairing rule.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.emit(Event{Name: s.name, Ph: 'E', TS: s.t.now(), TID: s.tid})
+}
+
+// spanEvent builds an event from a variadic arg list, keeping the first
+// maxEventArgs annotations.
+func spanEvent(name string, ph byte, ts, tid int64, args []KV) Event {
+	e := Event{Name: name, Ph: ph, TS: ts, TID: tid}
+	for _, kv := range args {
+		if e.NArgs == maxEventArgs {
+			break
+		}
+		e.Args[e.NArgs] = kv
+		e.NArgs++
+	}
+	return e
+}
+
+// chromeEvent is the JSON shape of one Chrome trace-event row.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"` // microseconds
+	PID  int              `json:"pid"`
+	TID  int64            `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the log in the Chrome trace-event JSON format
+// ({"traceEvents": [...]}), loadable in chrome://tracing and Perfetto for
+// flamegraph viewing. Timestamps are microseconds with nanosecond
+// fraction preserved.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	rows := []chromeEvent{}
+	for _, e := range t.Events() {
+		ce := chromeEvent{
+			Name: e.Name,
+			Ph:   string(rune(e.Ph)),
+			TS:   float64(e.TS) / 1e3,
+			PID:  1,
+			TID:  e.TID,
+		}
+		if e.Ph == 'i' {
+			ce.S = "t" // thread-scoped instant
+		}
+		if e.NArgs > 0 {
+			ce.Args = make(map[string]int64, e.NArgs)
+			for i := 0; i < e.NArgs; i++ {
+				ce.Args[e.Args[i].K] = e.Args[i].V
+			}
+		}
+		rows = append(rows, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": rows})
+}

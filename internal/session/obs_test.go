@@ -1,0 +1,166 @@
+package session_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/session"
+)
+
+// TestSessionObserverPanicIsolated pins the fan-out fault boundary: a
+// panicking observer is quarantined and surfaced as an error to the job
+// that attached it, while the shared execution completes, serves its
+// other waiters, and still caches.
+func TestSessionObserverPanicIsolated(t *testing.T) {
+	gt := registerGate(t, "test/gate-obs-panic")
+	g := gen.Grid(4, 4)
+	s := session.New(session.WithWorkers(1))
+	defer s.Close()
+	pl, err := decomp.Compile(gt.name, decomp.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	jobA := s.SubmitObserved(ctx, pl, g, func(dist.RoundStats) { panic("observer bug") })
+	<-gt.started
+	seen := 0
+	jobB := s.SubmitObserved(ctx, pl, g, func(dist.RoundStats) { seen++ })
+	close(gt.release)
+
+	if _, err := jobA.Wait(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking observer's job returned err = %v, want observer-panic error", err)
+	}
+	p, err := jobB.Wait()
+	if err != nil || p == nil {
+		t.Fatalf("co-waiter got (%v, %v), want clean result", p, err)
+	}
+	// The gate emits two rounds; the healthy observer must see both (the
+	// panicking one is disabled after its first call, not the fan-out).
+	if seen != 2 {
+		t.Fatalf("healthy observer saw %d rounds, want 2", seen)
+	}
+	st := s.Stats()
+	if st.ObserverPanics != 1 {
+		t.Fatalf("ObserverPanics = %d, want 1", st.ObserverPanics)
+	}
+	// The execution itself succeeded, so the partition is cached.
+	rep := s.Submit(ctx, pl, g)
+	if _, err := rep.Wait(); err != nil || !rep.CacheHit() {
+		t.Fatalf("post-panic resubmit: err=%v hit=%v, want cached result", err, rep.CacheHit())
+	}
+}
+
+// TestSessionRegistryMetrics checks that a session-served run lands its
+// telemetry — session counters and latency histograms, plan latency,
+// engine round counters, core phase histograms — in the session registry,
+// and that the registry exports as Prometheus text.
+func TestSessionRegistryMetrics(t *testing.T) {
+	g, err := gen.Build(gen.FamilyGnp, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := session.New(session.WithWorkers(2))
+	defer s.Close()
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(5), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Run(ctx, pl, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, pl, g); err != nil { // cache hit
+		t.Fatal(err)
+	}
+
+	reg := s.Registry()
+	if reg == nil {
+		t.Fatal("session registry is nil")
+	}
+	for name, want := range map[string]int64{
+		"session.misses": 1,
+		"session.hits":   1,
+		"plan.runs":      1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for _, name := range []string{"engine.rounds", "engine.messages", "core.phases"} {
+		if got := reg.Counter(name).Value(); got <= 0 {
+			t.Errorf("%s = %d, want > 0", name, got)
+		}
+	}
+	if h := reg.Histogram("session.miss.ns").Snapshot(); h.Count != 1 {
+		t.Errorf("session.miss.ns count = %d, want 1", h.Count)
+	}
+	if h := reg.Histogram("session.hit.ns").Snapshot(); h.Count != 1 {
+		t.Errorf("session.hit.ns count = %d, want 1", h.Count)
+	}
+	if h := reg.Histogram("plan.elkin-neiman.ns").Snapshot(); h.Count != 1 {
+		t.Errorf("plan.elkin-neiman.ns count = %d, want 1", h.Count)
+	}
+	if h := reg.Histogram("core.round.frontier").Snapshot(); h.Count == 0 || h.Max > int64(g.N()) {
+		t.Errorf("core.round.frontier = %+v, want non-empty with max <= n", h)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"session_hits 1", "session_misses 1", "engine_rounds"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestSessionSharedRecorder checks WithRecorder: the session reports into
+// the caller's registry/tracer, and a session-served job shows up as a
+// job span with the plan span nested beneath it.
+func TestSessionSharedRecorder(t *testing.T) {
+	reg := obs.NewRegistry()
+	trc := obs.NewTracer()
+	s := session.New(session.WithWorkers(1), session.WithRecorder(obs.New(reg, trc)))
+	defer s.Close()
+	g := gen.Grid(6, 6)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(2), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), pl, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("session.misses").Value(); got != 1 {
+		t.Fatalf("shared registry session.misses = %d, want 1", got)
+	}
+	evs := trc.Events()
+	if len(evs) < 4 {
+		t.Fatalf("trace has %d events, want a job/plan/phase hierarchy", len(evs))
+	}
+	if evs[0].Name != "job" || evs[0].Ph != 'B' {
+		t.Fatalf("first event = %+v, want job span begin", evs[0])
+	}
+	if evs[1].Name != "plan/elkin-neiman" || evs[1].TID != evs[0].TID {
+		t.Fatalf("second event = %+v, want nested plan span on the job's thread", evs[1])
+	}
+	var phases, rounds int
+	for _, e := range evs {
+		switch {
+		case e.Name == "phase" && e.Ph == 'B':
+			phases++
+		case e.Name == "round" && e.Ph == 'i':
+			rounds++
+		}
+	}
+	if phases == 0 || rounds == 0 {
+		t.Fatalf("trace has %d phase spans and %d round events, want both > 0", phases, rounds)
+	}
+}

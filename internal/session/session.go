@@ -30,12 +30,16 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/dist"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
 )
 
 // ErrClosed is returned by submissions made after Close.
@@ -56,7 +60,10 @@ func KeyFor(pl *decomp.Plan, g graph.Interface) Key {
 	return Key{Graph: graph.Fingerprint(g), Plan: pl.PlanKey(), Seed: pl.Seed()}
 }
 
-// Stats is a point-in-time snapshot of the session counters.
+// Stats is a point-in-time snapshot of the session counters. The same
+// numbers — plus the latency histograms — live in the session's telemetry
+// registry (Registry) under the session.* names; Stats remains as the
+// programmatic convenience view.
 type Stats struct {
 	// Hits counts submissions served from the completed-result cache.
 	Hits uint64
@@ -67,6 +74,9 @@ type Stats struct {
 	Dedups uint64
 	// Evictions counts cache entries displaced by the LRU bound.
 	Evictions uint64
+	// ObserverPanics counts observer callbacks that panicked during the
+	// round fan-out and were disabled (see SubmitObserved).
+	ObserverPanics uint64
 	// InFlight is the number of executions currently scheduled or running.
 	InFlight int
 	// Cached is the number of completed results currently held.
@@ -89,12 +99,37 @@ func WithCacheSize(n int) Option {
 	return func(s *Session) { s.cacheCap = n }
 }
 
+// WithRecorder makes the session report into an externally owned
+// telemetry recorder — typically obs.New(registry, tracer) shared with an
+// exposition endpoint, so session counters, latency histograms and job
+// spans land beside the engine metrics. Without this option the session
+// creates a private metrics-only registry (no tracer); passing nil keeps
+// that default.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(s *Session) { s.rec = rec }
+}
+
 // Session is the concurrent plan-execution service. It is safe for use by
 // multiple goroutines; create one per process (or per tenant) and share
 // it, so identical work is actually deduplicated.
 type Session struct {
 	workers  int
 	cacheCap int
+
+	// rec is the telemetry recorder; never nil after New. All session
+	// instruments below are resolved once at construction so the submit
+	// and execute paths never do a name lookup.
+	rec       *obs.Recorder
+	cHits     *obs.Counter
+	cMisses   *obs.Counter
+	cDedups   *obs.Counter
+	cEvicted  *obs.Counter
+	cPanics   *obs.Counter
+	gInflight *obs.Gauge
+	gCached   *obs.Gauge
+	hHit      *obs.Histogram
+	hMiss     *obs.Histogram
+	hDedup    *obs.Histogram
 
 	wg sync.WaitGroup
 
@@ -105,10 +140,6 @@ type Session struct {
 	inflight map[Key]*flight
 	items    map[Key]*list.Element
 	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
-	dedups   uint64
-	evicted  uint64
 }
 
 // cacheEntry is one LRU slot.
@@ -128,13 +159,23 @@ type flight struct {
 	cancel context.CancelFunc
 
 	obsMu     sync.Mutex
-	observers []func(dist.RoundStats)
+	observers []*obsEntry
 
 	waiters int // guarded by s.mu; at 0 the execution is cancelled
 
 	done chan struct{}
 	p    *decomp.Partition
 	err  error
+}
+
+// obsEntry is one attached round observer plus the job it belongs to. The
+// failed flag quarantines an observer that panicked: it is written and
+// read only on the goroutine driving the execution (broadcast is called
+// from the engine loop), so it needs no lock.
+type obsEntry struct {
+	fn     func(dist.RoundStats)
+	job    *Job
+	failed bool
 }
 
 // New starts a Session with the given options.
@@ -155,6 +196,19 @@ func New(opts ...Option) *Session {
 	if s.cacheCap < 0 {
 		s.cacheCap = 0
 	}
+	if s.rec == nil {
+		s.rec = obs.New(obs.NewRegistry(), nil)
+	}
+	s.cHits = s.rec.Counter("session.hits")
+	s.cMisses = s.rec.Counter("session.misses")
+	s.cDedups = s.rec.Counter("session.dedups")
+	s.cEvicted = s.rec.Counter("session.evictions")
+	s.cPanics = s.rec.Counter("session.observer.panics")
+	s.gInflight = s.rec.Gauge("session.inflight")
+	s.gCached = s.rec.Gauge("session.cached")
+	s.hHit = s.rec.Histogram("session.hit.ns")
+	s.hMiss = s.rec.Histogram("session.miss.ns")
+	s.hDedup = s.rec.Histogram("session.dedup.ns")
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(s.workers)
 	for i := 0; i < s.workers; i++ {
@@ -191,11 +245,18 @@ func (s *Session) Submit(ctx context.Context, pl *decomp.Plan, g graph.Interface
 // one shared execution are fanned out to; an observer attached by a
 // deduplicated submission sees only the rounds emitted after it attached,
 // and a cache hit (no execution at all) emits nothing.
-func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.Interface, obs func(dist.RoundStats)) *Job {
+//
+// Observers are panic-isolated: a callback that panics is disabled for
+// the rest of the execution, counted in session.observer.panics, and
+// surfaced as an error to the waiter that attached it — the shared
+// execution itself keeps running, its result still caches, and every
+// other waiter is unaffected.
+func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.Interface, fn func(dist.RoundStats)) *Job {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := &Job{ctx: ctx}
+	start := time.Now()
+	j := &Job{ctx: ctx, start: start}
 	switch {
 	case pl == nil:
 		j.err = errors.New("session: Submit with nil Plan")
@@ -214,9 +275,10 @@ func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.I
 		return j
 	}
 	if p, ok := s.cacheGet(key); ok {
-		s.hits++
+		s.cHits.Inc()
 		s.mu.Unlock()
 		j.p, j.hit = p, true
+		s.hHit.Observe(time.Since(start).Nanoseconds())
 		return j
 	}
 	// Attach only to a flight that still has waiters: once the last waiter
@@ -225,14 +287,15 @@ func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.I
 	// schedules a replacement instead (the doomed flight only removes the
 	// inflight entry if it is still its own, see execute).
 	if fl, ok := s.inflight[key]; ok && fl.waiters > 0 {
-		s.dedups++
+		s.cDedups.Inc()
 		fl.waiters++
-		fl.addObservers(obs, pl.Config().Observer)
+		fl.addObservers(j, fn, pl.Config().Observer)
 		s.mu.Unlock()
 		j.fl = fl
+		j.lat = s.hDedup
 		return j
 	}
-	s.misses++
+	s.cMisses.Inc()
 	runCtx, cancel := context.WithCancel(context.Background())
 	fl := &flight{
 		s: s, key: key, plan: pl, g: g,
@@ -241,12 +304,14 @@ func (s *Session) SubmitObserved(ctx context.Context, pl *decomp.Plan, g graph.I
 	}
 	// Observers attach before the flight becomes visible to workers, so
 	// the initiating submission never misses a round.
-	fl.addObservers(obs, pl.Config().Observer)
+	fl.addObservers(j, fn, pl.Config().Observer)
 	s.inflight[key] = fl
+	s.gInflight.Set(int64(len(s.inflight)))
 	s.pending = append(s.pending, fl)
 	s.mu.Unlock()
 	s.cond.Signal()
 	j.fl = fl
+	j.lat = s.hMiss
 	return j
 }
 
@@ -305,13 +370,33 @@ func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Dedups:    s.dedups,
-		Evictions: s.evicted,
-		InFlight:  len(s.inflight),
-		Cached:    s.order.Len(),
+		Hits:           uint64(s.cHits.Value()),
+		Misses:         uint64(s.cMisses.Value()),
+		Dedups:         uint64(s.cDedups.Value()),
+		Evictions:      uint64(s.cEvicted.Value()),
+		ObserverPanics: uint64(s.cPanics.Value()),
+		InFlight:       len(s.inflight),
+		Cached:         s.order.Len(),
 	}
+}
+
+// Recorder returns the session's telemetry recorder (never nil). Layers
+// that want their own metrics beside the session's — harness experiments,
+// exposition endpoints — resolve instruments through it.
+func (s *Session) Recorder() *obs.Recorder { return s.rec }
+
+// Registry returns the telemetry registry behind the session's recorder
+// (nil only when the session was built over a metrics-less recorder).
+func (s *Session) Registry() *obs.Registry { return s.rec.Registry() }
+
+// WritePrometheus writes the session registry in Prometheus text format —
+// the convenience form of Registry().WritePrometheus for HTTP handlers.
+func (s *Session) WritePrometheus(w io.Writer) error {
+	reg := s.Registry()
+	if reg == nil {
+		return nil
+	}
+	return reg.WritePrometheus(w)
 }
 
 // worker is one pool goroutine: pop, execute, repeat until the session
@@ -335,13 +420,26 @@ func (s *Session) worker() {
 	}
 }
 
-// execute runs one flight, stores the result, and wakes the waiters.
+// execute runs one flight, stores the result, and wakes the waiters. The
+// execution is wrapped in a "job" span carrying the cache key triple, and
+// unless the plan brought its own recorder it inherits the session's,
+// rooted at that span — so the plan, phase and round telemetry of a
+// session-served run lands in the session registry.
 func (s *Session) execute(fl *flight) {
 	defer fl.cancel()
 	var p *decomp.Partition
 	err := fl.runCtx.Err() // all waiters may have abandoned while queued
 	if err == nil {
-		p, err = fl.plan.WithObserver(fl.broadcast).Run(fl.runCtx, fl.g)
+		span := s.rec.Span("job",
+			obs.KV{K: "graph", V: int64(fl.key.Graph)},
+			obs.KV{K: "plan", V: int64(fl.key.Plan)},
+			obs.KV{K: "seed", V: int64(fl.key.Seed)})
+		pl := fl.plan.WithObserver(fl.broadcast)
+		if pl.Recorder() == nil {
+			pl = pl.WithRecorder(s.rec.Under(span))
+		}
+		p, err = pl.Run(fl.runCtx, fl.g)
+		span.End()
 	}
 	s.mu.Lock()
 	if err == nil {
@@ -352,27 +450,51 @@ func (s *Session) execute(fl *flight) {
 	if s.inflight[fl.key] == fl {
 		delete(s.inflight, fl.key)
 	}
+	s.gInflight.Set(int64(len(s.inflight)))
 	s.mu.Unlock()
 	fl.p, fl.err = p, err
 	close(fl.done)
 }
 
-// broadcast fans one round record out to every attached observer.
+// broadcast fans one round record out to every attached observer,
+// isolating panics: a panicking observer is disabled for the rest of the
+// execution, counted, and its error is pinned to the job that attached it
+// (read by that job's Wait after fl.done closes, so the write is ordered
+// by the channel close). Entries are only appended, never removed, and
+// the slice header is copied under obsMu, so concurrent attaches from
+// deduplicated submissions are safe.
 func (fl *flight) broadcast(rs dist.RoundStats) {
 	fl.obsMu.Lock()
-	obs := fl.observers
+	entries := fl.observers
 	fl.obsMu.Unlock()
-	for _, f := range obs {
-		f(rs)
+	for _, e := range entries {
+		if !e.failed {
+			fl.callObserver(e, rs)
+		}
 	}
 }
 
-// addObservers attaches the non-nil observers to the flight.
-func (fl *flight) addObservers(obs ...func(dist.RoundStats)) {
+// callObserver invokes one observer, converting a panic into quarantine.
+func (fl *flight) callObserver(e *obsEntry, rs dist.RoundStats) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.failed = true
+			fl.s.cPanics.Inc()
+			if e.job != nil {
+				e.job.obsErr = fmt.Errorf("session: round observer panicked: %v", r)
+			}
+		}
+	}()
+	e.fn(rs)
+}
+
+// addObservers attaches the non-nil observers to the flight on behalf of
+// job j.
+func (fl *flight) addObservers(j *Job, fns ...func(dist.RoundStats)) {
 	fl.obsMu.Lock()
-	for _, f := range obs {
+	for _, f := range fns {
 		if f != nil {
-			fl.observers = append(fl.observers, f)
+			fl.observers = append(fl.observers, &obsEntry{fn: f, job: j})
 		}
 	}
 	fl.obsMu.Unlock()
@@ -405,8 +527,9 @@ func (s *Session) cacheAdd(key Key, p *decomp.Partition) {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.items, oldest.Value.(*cacheEntry).key)
-		s.evicted++
+		s.cEvicted.Inc()
 	}
+	s.gCached.Set(int64(s.order.Len()))
 }
 
 // Job is the handle of one submission.
@@ -419,6 +542,19 @@ type Job struct {
 	p   *decomp.Partition
 	err error
 	hit bool
+
+	// obsErr is set when an observer this job attached panicked during the
+	// fan-out. It is written on the execution goroutine before fl.done
+	// closes and read by Wait only after, so the channel orders the access.
+	obsErr error
+
+	// start/lat feed the session's per-path latency histograms: lat is the
+	// miss or dedup histogram (nil for submit-time resolutions, whose hit
+	// latency is observed inline), and latOnce observes exactly once at
+	// the first completed Wait.
+	start   time.Time
+	lat     *obs.Histogram
+	latOnce sync.Once
 
 	detachOnce sync.Once
 }
@@ -448,6 +584,10 @@ func (j *Job) Done() <-chan struct{} {
 // for its other waiters and is cancelled only when the last one abandons
 // it. Wait may be called multiple times; each successful call returns a
 // fresh clone.
+//
+// If an observer attached by this job panicked during the execution, Wait
+// returns that error to this job alone: the shared execution completed,
+// its result is cached, and the other waiters receive it normally.
 func (j *Job) Wait() (*decomp.Partition, error) {
 	if j.fl == nil {
 		if j.err != nil {
@@ -457,23 +597,32 @@ func (j *Job) Wait() (*decomp.Partition, error) {
 	}
 	select {
 	case <-j.fl.done:
-		if j.fl.err != nil {
-			return nil, j.fl.err
-		}
-		return j.fl.p.Clone(), nil
+		return j.resolve()
 	case <-j.ctx.Done():
 		j.detach()
 		// Completion may have raced the cancellation; prefer the result.
 		select {
 		case <-j.fl.done:
-			if j.fl.err != nil {
-				return nil, j.fl.err
-			}
-			return j.fl.p.Clone(), nil
+			return j.resolve()
 		default:
 		}
 		return nil, j.ctx.Err()
 	}
+}
+
+// resolve reads the completed flight's outcome for this job. Must only be
+// called after j.fl.done is closed.
+func (j *Job) resolve() (*decomp.Partition, error) {
+	j.latOnce.Do(func() {
+		j.lat.Observe(time.Since(j.start).Nanoseconds())
+	})
+	if j.fl.err != nil {
+		return nil, j.fl.err
+	}
+	if j.obsErr != nil {
+		return nil, j.obsErr
+	}
+	return j.fl.p.Clone(), nil
 }
 
 // detach removes this job from its flight's waiter count, cancelling the

@@ -1,0 +1,72 @@
+package netdecomp
+
+import (
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/session"
+)
+
+// The telemetry facade: the internal/obs instruments re-exported so
+// applications can meter and trace decompositions through the public API.
+//
+//	reg := netdecomp.NewMetricsRegistry()
+//	trc := netdecomp.NewTracer()
+//	rec := netdecomp.NewRecorder(reg, trc)
+//	p, _ := netdecomp.MustGet("elkin-neiman/dist").Decompose(ctx, g,
+//		netdecomp.WithForceComplete(), netdecomp.WithRecorder(rec))
+//	reg.WritePrometheus(os.Stdout)      // counters, gauges, quantiles
+//	trc.WriteChromeTrace(traceFile)     // load in chrome://tracing
+//
+// Everything is optional and zero-cost when absent: runs without a
+// recorder skip every telemetry branch on a single nil test.
+
+// MetricsRegistry is a named collection of counters, gauges and
+// log-bucketed histograms, safe for concurrent use. It exports itself as
+// Prometheus text (WritePrometheus), an expvar-shaped map (ExpvarMap) or
+// a point-in-time Snapshot.
+type MetricsRegistry = obs.Registry
+
+// Tracer collects span begin/end and instant events and writes them as
+// Chrome trace-event JSON (WriteChromeTrace).
+type Tracer = obs.Tracer
+
+// Recorder bundles a MetricsRegistry with an optional Tracer and is the
+// handle the execution layers report through; attach one to a run with
+// WithRecorder or to a Session with WithSessionRecorder.
+type Recorder = obs.Recorder
+
+// MetricsSnapshot is a point-in-time copy of a MetricsRegistry.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is a point-in-time copy of one histogram, with
+// Mean and Quantile accessors.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// TraceSpan is an open span started through a Recorder; End it to close.
+type TraceSpan = obs.Span
+
+// TraceEvent is one collected trace event.
+type TraceEvent = obs.Event
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRecorder bundles a registry with an optional tracer (nil disables
+// tracing but keeps metrics).
+func NewRecorder(reg *MetricsRegistry, trc *Tracer) *Recorder { return obs.New(reg, trc) }
+
+// WithRecorder attaches telemetry to a run: per-plan spans and latency
+// histograms, per-phase spans with frontier-size histograms, and
+// per-round counters and trace instants from the execution engine. The
+// recorder is excluded from the PlanKey — instrumented and plain runs of
+// the same configuration are the same plan.
+func WithRecorder(rec *Recorder) DecomposeOption { return decomp.WithRecorder(rec) }
+
+// WithSessionRecorder attaches telemetry to a Session: hit/miss/dedup
+// counters and latency histograms, per-job spans, and — for submitted
+// plans that carry no recorder of their own — the full execution
+// telemetry nested under each job span.
+func WithSessionRecorder(rec *Recorder) SessionOption { return session.WithRecorder(rec) }
