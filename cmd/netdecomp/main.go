@@ -3,19 +3,13 @@ package main
 import (
 	"context"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	rtpprof "runtime/pprof"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"netdecomp/internal/core"
@@ -24,6 +18,7 @@ import (
 	"netdecomp/internal/graph"
 	"netdecomp/internal/graphio"
 	"netdecomp/internal/obs"
+	"netdecomp/internal/serve"
 	"netdecomp/internal/session"
 	"netdecomp/internal/stats"
 )
@@ -125,9 +120,12 @@ func run(args []string, w io.Writer) error {
 		}()
 	}
 	if *metricsAddr != "" {
-		srv, ln, err := startMetricsServer(*metricsAddr, reg)
+		// The observability mux is shared with cmd/netdecompd (see
+		// internal/serve/debug.go) so the two binaries expose identical
+		// /metrics, /debug/vars and /debug/pprof surfaces.
+		srv, ln, err := serve.ListenDebug(*metricsAddr, reg)
 		if err != nil {
-			return err
+			return fmt.Errorf("-metrics-addr: %w", err)
 		}
 		fmt.Fprintf(w, "metrics  : serving http://%s/metrics /debug/vars /debug/pprof\n", ln.Addr())
 		defer func() {
@@ -214,48 +212,6 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return runErr
-}
-
-// startMetricsServer binds addr and serves the observability surface:
-// Prometheus text on /metrics, the expvar JSON dump on /debug/vars, and
-// the live net/http/pprof handlers under /debug/pprof/.
-func startMetricsServer(addr string, reg *obs.Registry) (*http.Server, net.Listener, error) {
-	publishExpvar(reg)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", httppprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("-metrics-addr %s: %w", addr, err)
-	}
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln, nil
-}
-
-// expvar.Publish panics on duplicate names, so the netdecomp var is
-// published once per process and indirects through an atomic pointer to
-// the registry of the most recent run (tests call run repeatedly).
-var (
-	expvarOnce sync.Once
-	expvarReg  atomic.Pointer[obs.Registry]
-)
-
-func publishExpvar(reg *obs.Registry) {
-	expvarReg.Store(reg)
-	expvarOnce.Do(func() {
-		expvar.Publish("netdecomp", expvar.Func(func() any {
-			return expvarReg.Load().ExpvarMap()
-		}))
-	})
 }
 
 // writeTraceFile exports the tracer's event buffer as Chrome trace JSON.

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"netdecomp/internal/obs"
+	"netdecomp/internal/serve"
 )
 
 // TestMetricsServerEndpoints boots the -metrics-addr surface on an
@@ -21,7 +22,7 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("engine.rounds").Add(3)
 	reg.Histogram("plan.test.ns").Observe(1000)
-	srv, ln, err := startMetricsServer("127.0.0.1:0", reg)
+	srv, ln, err := serve.ListenDebug("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}

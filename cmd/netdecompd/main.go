@@ -1,0 +1,151 @@
+// Command netdecompd is the network-decomposition serving daemon: the
+// internal/serve HTTP/JSON API over a persistent session. Clients register
+// graphs (generator specs or edge-list uploads), compile plans, and submit
+// decompose requests that ride the session cache and singleflight;
+// per-round statistics stream over SSE, telemetry is live on /metrics, and
+// with -store the completed-partition cache (plus the graph/plan
+// registries) survives restarts behind an integrity-hashed snapshot.
+//
+// Examples:
+//
+//	netdecompd -addr :8080
+//	netdecompd -addr :8080 -store /var/lib/netdecomp/netdecomp.snap
+//	netdecompd -addr :8080 -store nd.snap -flush-interval 30s -workers 8
+//
+//	curl -s localhost:8080/v1/graphs -H 'Content-Type: application/json' \
+//	     -d '{"family":"gnp","n":4096,"seed":1}'
+//	curl -s localhost:8080/v1/plans -H 'Content-Type: application/json' \
+//	     -d '{"algorithm":"elkin-neiman","forceComplete":true}'
+//	curl -s localhost:8080/v1/decompose -d '{"graph":"<fp>","plan":"<key>"}'
+//
+// The built-in load generator replays a Zipf repeat/fresh mix against a
+// running daemon and prints hit/miss counts with warm-path latency
+// quantiles (the numbers BENCH_serve.json records):
+//
+//	netdecompd -loadgen http://localhost:8080 -clients 8 -requests 512
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netdecomp/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netdecompd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("netdecompd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address for the API (and /metrics, /debug)")
+	store := fs.String("store", "", "persistent result store path (empty = in-memory only)")
+	flushInterval := fs.Duration("flush-interval", time.Minute, "periodic snapshot cadence with -store (0 = flush only on shutdown and /v1/store/flush)")
+	workers := fs.Int("workers", 0, "session worker pool size (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "completed-result LRU capacity (0 = session default)")
+	loadgen := fs.String("loadgen", "", "run as a load generator against this base URL instead of serving")
+	clients := fs.Int("clients", 8, "with -loadgen: concurrent clients")
+	requests := fs.Int("requests", 256, "with -loadgen: total request count")
+	seeds := fs.Int("seeds", 16, "with -loadgen: hot-set size (Zipf over seeds 0..N-1)")
+	zipfS := fs.Float64("zipf", 1.3, "with -loadgen: Zipf skew (>1; larger = hotter head)")
+	fresh := fs.Float64("fresh", 0.05, "with -loadgen: fraction of requests using a brand-new seed")
+	lgGraph := fs.String("graph", "", "with -loadgen: registered graph fingerprint (empty = register gnp n=1024 seed=1)")
+	lgPlan := fs.String("plan", "", "with -loadgen: registered plan key (empty = register elkin-neiman forced-complete)")
+	lgSeed := fs.Uint64("seed", 1, "with -loadgen: generator randomness seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *loadgen != "" {
+		return runLoadgen(ctx, w, *loadgen, serve.LoadOptions{
+			Clients:       *clients,
+			Requests:      *requests,
+			Graph:         *lgGraph,
+			Plan:          *lgPlan,
+			Seeds:         *seeds,
+			ZipfS:         *zipfS,
+			FreshFraction: *fresh,
+			Seed:          *lgSeed,
+		})
+	}
+	return runServer(ctx, w, serve.Options{
+		Workers:       *workers,
+		CacheSize:     *cache,
+		StorePath:     *store,
+		FlushInterval: *flushInterval,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	}, *addr)
+}
+
+// runServer boots the daemon and serves until the context is cancelled or
+// a SIGINT/SIGTERM arrives; shutdown flushes the store before exit.
+func runServer(ctx context.Context, w io.Writer, opts serve.Options, addr string) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close()
+		return fmt.Errorf("-addr %s: %w", addr, err)
+	}
+	// The bound address is printed (not just the flag) so -addr :0 works
+	// for tests and the CI smoke job.
+	fmt.Fprintf(w, "netdecompd: serving http://%s (API, /metrics, /debug)\n", ln.Addr())
+	if opts.StorePath != "" {
+		fmt.Fprintf(w, "netdecompd: result store at %s (flush every %v)\n", opts.StorePath, opts.FlushInterval)
+	}
+
+	srv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintf(w, "netdecompd: shutting down\n")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+		return s.Close() // final store flush rides Close
+	case err := <-errCh:
+		s.Close()
+		return err
+	}
+}
+
+// runLoadgen drives a running daemon, registering the default workload
+// when no graph/plan keys were provided.
+func runLoadgen(ctx context.Context, w io.Writer, baseURL string, opt serve.LoadOptions) error {
+	if opt.Graph == "" || opt.Plan == "" {
+		gk, pk, err := serve.RegisterDefaultWorkload(ctx, baseURL)
+		if err != nil {
+			return fmt.Errorf("registering default workload: %w", err)
+		}
+		if opt.Graph == "" {
+			opt.Graph = gk
+		}
+		if opt.Plan == "" {
+			opt.Plan = pk
+		}
+		fmt.Fprintf(w, "loadgen  : registered graph=%s plan=%s\n", opt.Graph, opt.Plan)
+	}
+	rep, err := serve.RunLoad(ctx, baseURL, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, rep)
+	return nil
+}

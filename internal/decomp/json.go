@@ -1,0 +1,157 @@
+package decomp
+
+// Stable JSON marshalling for the API surface. encoding/json on a struct
+// is already order-stable, but hand-rolling the encoder here makes the
+// contract explicit and independent of field reordering in the Go types:
+// the serving daemon's responses and the snapshot metadata in tests are
+// byte-diffable across builds. Field order is frozen below; floats are
+// rendered with strconv's shortest round-trip form ('g', -1), which is
+// deterministic across platforms — no exponent/precision drift.
+//
+// Metrics.PerRound is deliberately omitted: per-round statistics are a
+// stream (the SSE endpoint), not part of the stable result document, and
+// including them would make response size O(rounds).
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// MarshalJSON renders the mode by name ("strong"/"weak"), matching the
+// stable Partition document.
+func (m DiameterMode) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, m.String()), nil
+}
+
+// UnmarshalJSON accepts the names MarshalJSON emits, so clients (and the
+// serving daemon's own tests) can decode the stable document back into the
+// Go types.
+func (m *DiameterMode) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("decomp: diameter mode %s: %w", data, err)
+	}
+	switch s {
+	case "strong":
+		*m = StrongDiameter
+	case "weak":
+		*m = WeakDiameter
+	default:
+		return fmt.Errorf("decomp: unknown diameter mode %q", s)
+	}
+	return nil
+}
+
+// jsonBuf is a tiny append-only JSON writer: explicit field order, no
+// reflection, no HTML escaping surprises.
+type jsonBuf struct {
+	b     []byte
+	first bool
+}
+
+func (j *jsonBuf) open()  { j.b = append(j.b, '{'); j.first = true }
+func (j *jsonBuf) close() { j.b = append(j.b, '}') }
+
+func (j *jsonBuf) key(name string) {
+	if !j.first {
+		j.b = append(j.b, ',')
+	}
+	j.first = false
+	j.b = strconv.AppendQuote(j.b, name)
+	j.b = append(j.b, ':')
+}
+
+func (j *jsonBuf) str(name, v string) {
+	j.key(name)
+	j.b = strconv.AppendQuote(j.b, v)
+}
+
+func (j *jsonBuf) num(name string, v int64) {
+	j.key(name)
+	j.b = strconv.AppendInt(j.b, v, 10)
+}
+
+func (j *jsonBuf) unum(name string, v uint64) {
+	j.key(name)
+	j.b = strconv.AppendUint(j.b, v, 10)
+}
+
+func (j *jsonBuf) boolean(name string, v bool) {
+	j.key(name)
+	j.b = strconv.AppendBool(j.b, v)
+}
+
+// float renders v in the shortest form that parses back exactly —
+// deterministic, no trailing-digit drift between encoders.
+func (j *jsonBuf) float(name string, v float64) {
+	j.key(name)
+	j.b = strconv.AppendFloat(j.b, v, 'g', -1, 64)
+}
+
+func (j *jsonBuf) ints(name string, vs []int) {
+	j.key(name)
+	j.b = append(j.b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			j.b = append(j.b, ',')
+		}
+		j.b = strconv.AppendInt(j.b, int64(v), 10)
+	}
+	j.b = append(j.b, ']')
+}
+
+// MarshalJSON renders the cluster with frozen field order:
+// members, center, phase, color.
+func (c Cluster) MarshalJSON() ([]byte, error) {
+	var j jsonBuf
+	j.open()
+	j.ints("members", c.Members)
+	j.num("center", int64(c.Center))
+	j.num("phase", int64(c.Phase))
+	j.num("color", int64(c.Color))
+	j.close()
+	return j.b, nil
+}
+
+// MarshalJSON renders the partition with frozen field order:
+// algorithm, n, clusters, clusterOf, colors, phasesUsed, phaseBudget,
+// complete, mode, properColors, metrics{rounds, messages, words,
+// maxMessageWords}, cutEdges, cutFraction. The document is byte-stable for
+// equal partitions across builds and platforms; Metrics.PerRound is not
+// included (see the package comment above).
+func (p *Partition) MarshalJSON() ([]byte, error) {
+	var j jsonBuf
+	j.open()
+	j.str("algorithm", p.Algorithm)
+	j.num("n", int64(p.N))
+	j.key("clusters")
+	j.b = append(j.b, '[')
+	for i := range p.Clusters {
+		if i > 0 {
+			j.b = append(j.b, ',')
+		}
+		cb, _ := p.Clusters[i].MarshalJSON()
+		j.b = append(j.b, cb...)
+	}
+	j.b = append(j.b, ']')
+	j.ints("clusterOf", p.ClusterOf)
+	j.num("colors", int64(p.Colors))
+	j.num("phasesUsed", int64(p.PhasesUsed))
+	j.num("phaseBudget", int64(p.PhaseBudget))
+	j.boolean("complete", p.Complete)
+	j.str("mode", p.Mode.String())
+	j.boolean("properColors", p.ProperColors)
+	j.key("metrics")
+	var m jsonBuf
+	m.open()
+	m.num("rounds", int64(p.Metrics.Rounds))
+	m.num("messages", p.Metrics.Messages)
+	m.num("words", p.Metrics.Words)
+	m.num("maxMessageWords", int64(p.Metrics.MaxMessageWords))
+	m.close()
+	j.b = append(j.b, m.b...)
+	j.num("cutEdges", int64(p.CutEdges))
+	j.float("cutFraction", p.CutFraction)
+	j.close()
+	return j.b, nil
+}

@@ -1,0 +1,210 @@
+package serve
+
+// The JSON API surface of netdecompd. Every identifier a client handles is
+// a 16-hex-digit string: graph fingerprints (graph.Fingerprint), plan keys
+// (decomp.Plan.PlanKey). The request/response DTOs here are the wire
+// contract documented in DESIGN.md §12; decomp.Partition and session.Stats
+// marshal through their stable hand-rolled encoders, so responses are
+// byte-diffable.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/session"
+)
+
+// familyNames lists the generator families a GraphSpec may name.
+func familyNames() []string { return gen.FamilyNames() }
+
+// sortByString orders a slice by a string key — listing endpoints return
+// deterministic order so responses are diffable.
+func sortByString[T any](xs []T, key func(T) string) {
+	sort.Slice(xs, func(i, j int) bool { return key(xs[i]) < key(xs[j]) })
+}
+
+// keyString renders a 64-bit identifier the way the API exposes it.
+func keyString(k uint64) string { return fmt.Sprintf("%016x", k) }
+
+// parseKey parses a 16-hex-digit identifier (leading zeroes optional).
+func parseKey(s string) (uint64, error) {
+	k, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q: want 64-bit hex", s)
+	}
+	return k, nil
+}
+
+// GraphSpec is a generator-backed graph registration: a gen family plus
+// its size and seed. Specs are tiny, deterministic, and persisted verbatim
+// in the snapshot, so generator graphs re-register themselves on boot.
+type GraphSpec struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Seed   uint64 `json:"seed"`
+}
+
+// Build constructs the spec's graph.
+func (sp GraphSpec) Build() (*graph.Graph, error) {
+	fam, err := gen.ParseFamily(sp.Family)
+	if err != nil {
+		return nil, err
+	}
+	if sp.N < 1 {
+		return nil, fmt.Errorf("graph spec: n must be positive, got %d", sp.N)
+	}
+	return gen.Build(fam, sp.N, sp.Seed)
+}
+
+// String renders the spec as the graph's human-readable source label.
+func (sp GraphSpec) String() string {
+	return fmt.Sprintf("%s(n=%d,seed=%d)", sp.Family, sp.N, sp.Seed)
+}
+
+// GraphInfo is the API view of one registered graph.
+type GraphInfo struct {
+	// Fingerprint is the graph's content digest — the identifier decompose
+	// requests address it by.
+	Fingerprint string `json:"fingerprint"`
+	// N and M are the vertex and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Source describes where the graph came from: a generator spec label
+	// ("gnp(n=1024,seed=1)") or "upload".
+	Source string `json:"source"`
+	// Spec is the generator spec when the graph was registered by one.
+	Spec *GraphSpec `json:"spec,omitempty"`
+}
+
+// PlanSpec is the JSON form of a decomposition configuration — the
+// compile-time half of a decompose request. Zero-valued fields select each
+// algorithm's documented default, exactly like the CLI flags.
+type PlanSpec struct {
+	Algorithm     string  `json:"algorithm"`
+	K             int     `json:"k,omitempty"`
+	Lambda        int     `json:"lambda,omitempty"`
+	C             float64 `json:"c,omitempty"`
+	Beta          float64 `json:"beta,omitempty"`
+	Seed          uint64  `json:"seed,omitempty"`
+	ForceComplete bool    `json:"forceComplete,omitempty"`
+	PhaseBudget   int     `json:"phaseBudget,omitempty"`
+	ExactRadius   bool    `json:"exactRadius,omitempty"`
+	Engine        bool    `json:"engine,omitempty"`
+	Parallel      bool    `json:"parallel,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+}
+
+// Compile resolves the spec into an immutable decomp.Plan.
+func (sp PlanSpec) Compile() (*decomp.Plan, error) {
+	if sp.Algorithm == "" {
+		return nil, fmt.Errorf("plan spec: algorithm is required (known: %v)", decomp.Names())
+	}
+	// The spec mirrors decomp.Config one-for-one, so it compiles through
+	// WithConfig verbatim — no option-by-option translation to drift.
+	return decomp.Compile(sp.Algorithm, decomp.WithConfig(decomp.Config{
+		Seed:          sp.Seed,
+		K:             sp.K,
+		Lambda:        sp.Lambda,
+		C:             sp.C,
+		Beta:          sp.Beta,
+		ForceComplete: sp.ForceComplete,
+		PhaseBudget:   sp.PhaseBudget,
+		ExactRadius:   sp.ExactRadius,
+		Engine:        sp.Engine,
+		Parallel:      sp.Parallel,
+		Workers:       sp.Workers,
+	}))
+}
+
+// PlanInfo is the API view of one compiled plan.
+type PlanInfo struct {
+	// Plan is the PlanKey digest — the identifier decompose requests
+	// address the configuration by.
+	Plan string `json:"plan"`
+	// Algorithm is the registry name the plan executes.
+	Algorithm string `json:"algorithm"`
+	// Seed is the plan's default seed (a decompose request may override).
+	Seed uint64 `json:"seed"`
+	// Spec echoes the registered configuration.
+	Spec PlanSpec `json:"spec"`
+}
+
+// DecomposeRequest addresses one decomposition: a registered graph, a
+// compiled plan, and an optional seed overriding the plan's default (the
+// third cache-key dimension — sweeps reuse one plan across seeds).
+type DecomposeRequest struct {
+	Graph string  `json:"graph"`
+	Plan  string  `json:"plan"`
+	Seed  *uint64 `json:"seed,omitempty"`
+}
+
+// DecomposeResponse is the served result.
+type DecomposeResponse struct {
+	// Graph, Plan, Seed echo the fully resolved cache key triple.
+	Graph string `json:"graph"`
+	Plan  string `json:"plan"`
+	Seed  uint64 `json:"seed"`
+	// Algorithm is the executing algorithm's registry name.
+	Algorithm string `json:"algorithm"`
+	// CacheHit reports the request was served from the completed-result
+	// cache without any execution.
+	CacheHit bool `json:"cacheHit"`
+	// LatencyNs is the request's server-side service time.
+	LatencyNs int64 `json:"latencyNs"`
+	// Partition is the decomposition (stable field order; see
+	// internal/decomp/json.go).
+	Partition *decomp.Partition `json:"partition"`
+}
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	// Session is the cache/dedup counter snapshot (stable field order).
+	Session session.Stats `json:"session"`
+	// Graphs and Plans count the registered entries.
+	Graphs int `json:"graphs"`
+	Plans  int `json:"plans"`
+	// Store describes the persistent result store (nil when disabled).
+	Store *StoreInfo `json:"store,omitempty"`
+}
+
+// StoreInfo reports the persistence state.
+type StoreInfo struct {
+	// Path is the snapshot file.
+	Path string `json:"path"`
+	// Restored is the number of cache entries recovered at boot.
+	Restored int `json:"restored"`
+	// Flushes counts completed snapshot writes; LastFlushEntries is the
+	// entry count of the most recent one.
+	Flushes          int64  `json:"flushes"`
+	LastFlushEntries int    `json:"lastFlushEntries"`
+	RecoveryError    string `json:"recoveryError,omitempty"`
+}
+
+// errorResponse is the uniform error document.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// rebuildUpload reconstructs an uploaded graph from its persisted flat
+// edge list (u,v pairs).
+func rebuildUpload(n int, edges []int32) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(edges); i += 2 {
+		b.AddEdge(int(edges[i]), int(edges[i+1]))
+	}
+	return b.Build()
+}
+
+// flattenEdges extracts a graph's edges as the flat pair list
+// rebuildUpload consumes.
+func flattenEdges(g graph.Interface) []int32 {
+	out := make([]int32, 0, 2*graph.EdgeCount(g))
+	for u, v := range graph.EdgeSeq(g) {
+		out = append(out, int32(u), int32(v))
+	}
+	return out
+}

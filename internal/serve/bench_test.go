@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// benchServer boots a server with a pre-registered gnp graph and
+// forced-complete elkin-neiman plan, returning the base URL and keys.
+func benchServer(b *testing.B, opts Options) (base, gk, pk string) {
+	b.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
+	post := func(path string, body any, out any) {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var gi GraphInfo
+	post("/v1/graphs", GraphSpec{Family: "gnp", N: 1024, Seed: 1}, &gi)
+	var pi PlanInfo
+	post("/v1/plans", PlanSpec{Algorithm: "elkin-neiman", ForceComplete: true}, &pi)
+	return ts.URL, gi.Fingerprint, pi.Plan
+}
+
+// BenchmarkServeWarmHit measures the full warm serving path — HTTP round
+// trip, cache lookup, partition clone, stable JSON response — the p50/p99
+// numbers BENCH_serve.json gates.
+func BenchmarkServeWarmHit(b *testing.B) {
+	base, gk, pk := benchServer(b, Options{Workers: 2})
+	body, _ := json.Marshal(DecomposeRequest{Graph: gk, Plan: pk})
+	client := &http.Client{}
+	// Prime the cache with the one execution.
+	warmupOnce(b, client, base, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dr DecomposeResponse
+		doBenchRequest(b, client, base, body, &dr)
+		if !dr.CacheHit {
+			b.Fatal("warm path missed the cache")
+		}
+	}
+}
+
+// BenchmarkServeColdMiss measures the full cold path: every request uses a
+// fresh seed, so the engine executes each time (dominated by the
+// decomposition itself, reported for scale against the warm path).
+func BenchmarkServeColdMiss(b *testing.B) {
+	base, gk, pk := benchServer(b, Options{Workers: 2, CacheSize: 4})
+	client := &http.Client{}
+	var seedAt atomic.Uint64
+	seedAt.Store(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := seedAt.Add(1)
+		body, _ := json.Marshal(DecomposeRequest{Graph: gk, Plan: pk, Seed: &seed})
+		var dr DecomposeResponse
+		doBenchRequest(b, client, base, body, &dr)
+		if dr.CacheHit {
+			b.Fatal("cold path hit the cache")
+		}
+	}
+}
+
+func warmupOnce(b *testing.B, client *http.Client, base string, body []byte) {
+	b.Helper()
+	var dr DecomposeResponse
+	doBenchRequest(b, client, base, body, &dr)
+	if dr.Partition == nil {
+		b.Fatal("warmup produced no partition")
+	}
+}
+
+func doBenchRequest(b *testing.B, client *http.Client, base string, body []byte, out *DecomposeResponse) {
+	b.Helper()
+	resp, err := client.Post(base+"/v1/decompose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		b.Fatal(err)
+	}
+}

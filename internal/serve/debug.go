@@ -1,0 +1,76 @@
+package serve
+
+// The shared observability mux: /metrics (Prometheus text), /debug/vars
+// (expvar JSON) and the live /debug/pprof handlers, mounted identically by
+// cmd/netdecomp (-metrics-addr) and cmd/netdecompd (always on, next to the
+// API routes). Extracted here so the two binaries cannot drift.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"netdecomp/internal/obs"
+)
+
+// MountDebug adds the observability routes to mux, serving reg:
+//
+//	/metrics          Prometheus text exposition (version 0.0.4)
+//	/debug/vars       expvar JSON (the registry under the "netdecomp" key)
+//	/debug/pprof/...  live pprof: index, cmdline, profile, symbol, trace
+func MountDebug(mux *http.ServeMux, reg *obs.Registry) {
+	publishExpvar(reg)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// NewDebugMux returns a mux carrying only the observability routes — the
+// standalone -metrics-addr listener of cmd/netdecomp.
+func NewDebugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	MountDebug(mux, reg)
+	return mux
+}
+
+// ListenDebug binds addr and serves the debug mux on it. The caller owns
+// the returned server (Close when done); the listener reports the bound
+// address, so addr may use port 0.
+func ListenDebug(addr string, reg *obs.Registry) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics listener %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln, nil
+}
+
+// expvar.Publish panics on duplicate names, so the process-wide
+// "netdecomp" var is published once and indirects through an atomic
+// pointer to the most recently mounted registry (tests mount repeatedly in
+// one process).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[obs.Registry]
+)
+
+func publishExpvar(reg *obs.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("netdecomp", expvar.Func(func() any {
+			return expvarReg.Load().ExpvarMap()
+		}))
+	})
+}

@@ -1,0 +1,252 @@
+package serve
+
+// The load-generator harness: N concurrent clients replaying a Zipf
+// repeat/fresh request mix against a running daemon, the workload shape of
+// the ROADMAP's serving story (most traffic re-requests a small hot set,
+// a tail asks for fresh work). It drives the real HTTP surface end to end
+// — JSON decode included — and reports hit/miss counts plus latency
+// quantiles, separating the warm-hit path (the numbers BENCH_serve.json
+// records and CI gates) from cold executions.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions shapes one load run.
+type LoadOptions struct {
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Requests is the total request count across all clients (default 256).
+	Requests int
+	// Graph and Plan address the registered workload (fingerprint / plan
+	// key hex, as returned by the registration endpoints).
+	Graph string
+	Plan  string
+	// Seeds is the hot-set size: repeat requests draw their seed from
+	// [0, Seeds) under a Zipf law, so low seeds dominate (default 16).
+	Seeds int
+	// ZipfS is the Zipf skew parameter (> 1; default 1.3; larger = hotter
+	// head).
+	ZipfS float64
+	// FreshFraction is the probability a request asks for a brand-new seed
+	// instead of the hot set — a guaranteed cold miss (default 0.05).
+	FreshFraction float64
+	// Seed seeds the generator's own randomness; equal seeds replay the
+	// same request sequence per client.
+	Seed uint64
+}
+
+// withDefaults fills the zero values.
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 256
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 16
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.FreshFraction < 0 || o.FreshFraction >= 1 {
+		o.FreshFraction = 0.05
+	}
+	return o
+}
+
+// LoadReport is the outcome of one load run. All latencies are
+// nanoseconds of full client-observed round trips (HTTP + JSON decode).
+type LoadReport struct {
+	Requests int `json:"requests"`
+	Clients  int `json:"clients"`
+	// Hits/Misses classify responses by the server's cacheHit flag.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Errors int `json:"errors"`
+	// ElapsedNs is the wall-clock span of the whole run; Throughput is
+	// requests per second over it.
+	ElapsedNs  int64   `json:"elapsedNs"`
+	Throughput float64 `json:"throughput"`
+	// P50Ns/P99Ns quantile the full mix; WarmP50Ns/WarmP99Ns quantile only
+	// the cache-hit responses — the serving-path numbers CI gates.
+	P50Ns     int64 `json:"p50Ns"`
+	P99Ns     int64 `json:"p99Ns"`
+	WarmP50Ns int64 `json:"warmP50Ns"`
+	WarmP99Ns int64 `json:"warmP99Ns"`
+}
+
+// String renders the report the way cmd/netdecompd -loadgen prints it.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"loadgen  : %d requests / %d clients in %.2fs (%.0f req/s)\n"+
+			"mix      : %d hits, %d misses, %d errors\n"+
+			"latency  : p50=%s p99=%s (all) / p50=%s p99=%s (warm hits)",
+		r.Requests, r.Clients, float64(r.ElapsedNs)/1e9, r.Throughput,
+		r.Hits, r.Misses, r.Errors,
+		time.Duration(r.P50Ns), time.Duration(r.P99Ns),
+		time.Duration(r.WarmP50Ns), time.Duration(r.WarmP99Ns))
+}
+
+// RegisterDefaultWorkload registers the canonical loadgen workload — a
+// gnp(n=1024, seed=1) graph and a forced-complete elkin-neiman plan — on
+// the daemon at baseURL and returns their keys. Registration is
+// idempotent, so re-running the load generator reuses the same entries.
+func RegisterDefaultWorkload(ctx context.Context, baseURL string) (graphKey, planKey string, err error) {
+	var gi GraphInfo
+	if err := postWorkloadJSON(ctx, baseURL+"/v1/graphs", GraphSpec{Family: "gnp", N: 1024, Seed: 1}, &gi); err != nil {
+		return "", "", err
+	}
+	var pi PlanInfo
+	if err := postWorkloadJSON(ctx, baseURL+"/v1/plans", PlanSpec{Algorithm: "elkin-neiman", ForceComplete: true}, &pi); err != nil {
+		return "", "", err
+	}
+	return gi.Fingerprint, pi.Plan, nil
+}
+
+// postWorkloadJSON is the minimal JSON round trip registration needs.
+func postWorkloadJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// loadSample is one observed request.
+type loadSample struct {
+	ns  int64
+	hit bool
+	err bool
+}
+
+// RunLoad replays the Zipf mix against the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). The addressed graph and plan must already be
+// registered; see LoadOptions.
+func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport, error) {
+	opt = opt.withDefaults()
+	if opt.Graph == "" || opt.Plan == "" {
+		return nil, fmt.Errorf("serve: loadgen needs Graph and Plan keys")
+	}
+	url := baseURL + "/v1/decompose"
+	var (
+		next    atomic.Int64 // request ticket dispenser
+		freshAt atomic.Uint64
+		wg      sync.WaitGroup
+	)
+	freshAt.Store(1 << 32) // fresh seeds live far above any hot-set seed
+	samples := make([][]loadSample, opt.Clients)
+	client := &http.Client{}
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(opt.Seed, uint64(c)+1))
+			zipf := rand.NewZipf(rng, opt.ZipfS, 1, uint64(opt.Seeds-1))
+			for int(next.Add(1)) <= opt.Requests {
+				seed := zipf.Uint64()
+				if rng.Float64() < opt.FreshFraction {
+					seed = freshAt.Add(1)
+				}
+				samples[c] = append(samples[c], doLoadRequest(ctx, client, url, opt, seed))
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &LoadReport{Clients: opt.Clients, ElapsedNs: elapsed.Nanoseconds()}
+	var all, warm []int64
+	for _, cs := range samples {
+		for _, sm := range cs {
+			rep.Requests++
+			switch {
+			case sm.err:
+				rep.Errors++
+			case sm.hit:
+				rep.Hits++
+				warm = append(warm, sm.ns)
+			default:
+				rep.Misses++
+			}
+			if !sm.err {
+				all = append(all, sm.ns)
+			}
+		}
+	}
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	rep.P50Ns, rep.P99Ns = quantiles(all)
+	rep.WarmP50Ns, rep.WarmP99Ns = quantiles(warm)
+	return rep, nil
+}
+
+// doLoadRequest issues one decompose call and classifies the response.
+func doLoadRequest(ctx context.Context, client *http.Client, url string, opt LoadOptions, seed uint64) loadSample {
+	body, _ := json.Marshal(DecomposeRequest{Graph: opt.Graph, Plan: opt.Plan, Seed: &seed})
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return loadSample{err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return loadSample{err: true}
+	}
+	defer resp.Body.Close()
+	var dr struct {
+		CacheHit bool `json:"cacheHit"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&dr)
+	io.Copy(io.Discard, resp.Body)
+	ns := time.Since(t0).Nanoseconds()
+	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		return loadSample{ns: ns, err: true}
+	}
+	return loadSample{ns: ns, hit: dr.CacheHit}
+}
+
+// quantiles returns the p50 and p99 of ns (0s when empty).
+func quantiles(ns []int64) (p50, p99 int64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	return at(0.50), at(0.99)
+}

@@ -1,0 +1,243 @@
+package serve
+
+// The persistent result store. The session layer owns the file format —
+// gob+gzip behind a SHA-256 integrity hash with atomic rename (see
+// internal/session/persistence.go) — and this file owns the serving
+// daemon's use of it: what else rides in the snapshot, when flushes
+// happen, and what recovery does on boot.
+//
+// The snapshot's opaque Meta blob carries the serve registries, so a
+// restart restores the whole serving surface, not just the cache:
+//
+//   - plan specs recompile (cheap, and PlanKey is content-derived, so the
+//     recompiled plan lands on the same key);
+//   - generator graphs rebuild from their spec (deterministic in seed);
+//   - uploaded graphs rebuild from their persisted flat edge list.
+//
+// Every rebuilt graph is verified against its recorded fingerprint — an
+// entry that rebuilds to different bytes (a generator changed, a partial
+// write the hash somehow missed) is dropped, never served.
+//
+// Flushes happen on a timer (Options.FlushInterval), on demand
+// (POST /v1/store/flush), and on Close — so a clean shutdown never loses
+// the warm cache, and a crash loses at most one interval.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"netdecomp/internal/graph"
+)
+
+// graphRecord persists one registered graph: the spec for generator
+// graphs, the flat edge list for uploads.
+type graphRecord struct {
+	Fingerprint uint64
+	Source      string
+	Spec        *GraphSpec
+	N           int
+	Edges       []int32 // uploads only: flat (u,v) pairs
+}
+
+// serveMeta is the registry payload carried in Snapshot.Meta.
+type serveMeta struct {
+	Graphs []graphRecord
+	Plans  []PlanSpec
+}
+
+// persister drives the store lifecycle for one Server.
+type persister struct {
+	s        *Server
+	path     string
+	interval time.Duration
+
+	mu         sync.Mutex
+	flushes    int64
+	lastCount  int
+	restored   int
+	recoveryEr string
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+func newPersister(s *Server, path string, interval time.Duration) *persister {
+	return &persister{s: s, path: path, interval: interval,
+		stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+}
+
+// start launches the periodic flush loop (no-op without an interval).
+func (p *persister) start() {
+	if p.interval <= 0 {
+		close(p.doneCh)
+		return
+	}
+	go func() {
+		defer close(p.doneCh)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if _, err := p.flush(); err != nil {
+					p.s.logf("serve: periodic flush: %v", err)
+				}
+			case <-p.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// stop halts the flush loop and writes the final shutdown snapshot.
+func (p *persister) stop() error {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	<-p.doneCh
+	_, err := p.flush()
+	return err
+}
+
+// flush snapshots the session cache plus the serve registries to disk.
+func (p *persister) flush() (int, error) {
+	meta, err := p.s.encodeMeta()
+	if err != nil {
+		return 0, err
+	}
+	n, err := p.s.sess.SnapshotToFile(p.path, meta)
+	if err != nil {
+		p.s.rec.Counter("serve.store.flush_errors").Inc()
+		return 0, err
+	}
+	p.mu.Lock()
+	p.flushes++
+	p.lastCount = n
+	p.mu.Unlock()
+	p.s.rec.Counter("serve.store.flushes").Inc()
+	p.s.rec.Gauge("serve.store.entries").Set(int64(n))
+	return n, nil
+}
+
+// recover loads the snapshot on boot: registries first (so recovered
+// cache keys have graphs and plans to resolve against), then the cache
+// itself via session.SeedCache. Corruption is terminal for the snapshot
+// but not the server — log, count, serve cold.
+func (p *persister) recover() {
+	meta, restored, err := p.s.sess.RecoverFromFile(p.path)
+	if err != nil {
+		p.s.logf("serve: recovery rejected %s: %v (booting cold)", p.path, err)
+		p.s.rec.Counter("serve.store.recovery_errors").Inc()
+		p.mu.Lock()
+		p.recoveryEr = err.Error()
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	p.restored = restored
+	p.mu.Unlock()
+	p.s.rec.Counter("session.restored") // touch so the metric exists even at 0
+	if meta != nil {
+		if err := p.s.restoreMeta(meta); err != nil {
+			p.s.logf("serve: restoring registries: %v", err)
+		}
+	}
+	if restored > 0 || meta != nil {
+		p.s.logf("serve: recovered %d cached partitions from %s", restored, p.path)
+	}
+}
+
+// info reports the store state for /v1/stats.
+func (p *persister) info() *StoreInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &StoreInfo{
+		Path:             p.path,
+		Restored:         p.restored,
+		Flushes:          p.flushes,
+		LastFlushEntries: p.lastCount,
+		RecoveryError:    p.recoveryEr,
+	}
+}
+
+// encodeMeta gobs the current registries.
+func (s *Server) encodeMeta() ([]byte, error) {
+	s.mu.RLock()
+	m := serveMeta{
+		Graphs: make([]graphRecord, 0, len(s.graphs)),
+		Plans:  make([]PlanSpec, 0, len(s.plans)),
+	}
+	for fp, e := range s.graphs {
+		rec := graphRecord{Fingerprint: fp, Source: e.info.Source, Spec: e.info.Spec, N: e.g.N()}
+		if e.info.Spec == nil {
+			rec.Edges = flattenEdges(e.g)
+		}
+		m.Graphs = append(m.Graphs, rec)
+	}
+	for _, e := range s.plans {
+		m.Plans = append(m.Plans, e.info.Spec)
+	}
+	s.mu.RUnlock()
+	// Deterministic order keeps snapshot contents stable for equal state.
+	sortByString(m.Graphs, func(r graphRecord) string { return keyString(r.Fingerprint) })
+	sortByString(m.Plans, func(sp PlanSpec) string { return fmt.Sprintf("%+v", sp) })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("serve: encoding registries: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreMeta rebuilds the registries from a recovered snapshot. Each
+// entry is independent: one bad record is dropped (logged) without
+// poisoning the rest.
+func (s *Server) restoreMeta(meta []byte) error {
+	var m serveMeta
+	if err := gob.NewDecoder(bytes.NewReader(meta)).Decode(&m); err != nil {
+		return fmt.Errorf("decoding registries: %w", err)
+	}
+	for _, rec := range m.Graphs {
+		var (
+			g   *graph.Graph
+			err error
+		)
+		if rec.Spec != nil {
+			g, err = rec.Spec.Build()
+		} else {
+			g = rebuildUpload(rec.N, rec.Edges)
+		}
+		if err != nil {
+			s.logf("serve: dropping recovered graph %s: %v", keyString(rec.Fingerprint), err)
+			continue
+		}
+		if g.Fingerprint() != rec.Fingerprint {
+			s.logf("serve: dropping recovered graph %s: rebuilt fingerprint %s differs",
+				keyString(rec.Fingerprint), keyString(g.Fingerprint()))
+			s.rec.Counter("serve.store.fingerprint_mismatches").Inc()
+			continue
+		}
+		info := GraphInfo{Fingerprint: keyString(rec.Fingerprint), N: g.N(), M: graph.EdgeCount(g),
+			Source: rec.Source, Spec: rec.Spec}
+		s.mu.Lock()
+		s.graphs[rec.Fingerprint] = &graphEntry{g: g, info: info}
+		s.mu.Unlock()
+	}
+	for _, spec := range m.Plans {
+		pl, err := spec.Compile()
+		if err != nil {
+			s.logf("serve: dropping recovered plan %+v: %v", spec, err)
+			continue
+		}
+		info := PlanInfo{Plan: keyString(pl.PlanKey()), Algorithm: pl.Name(), Seed: pl.Seed(), Spec: spec}
+		s.mu.Lock()
+		s.plans[pl.PlanKey()] = &planEntry{pl: pl, info: info}
+		s.mu.Unlock()
+	}
+	s.mu.RLock()
+	s.rec.Gauge("serve.graphs").Set(int64(len(s.graphs)))
+	s.rec.Gauge("serve.plans").Set(int64(len(s.plans)))
+	s.mu.RUnlock()
+	return nil
+}

@@ -1,0 +1,450 @@
+// Package serve is the network front door of the repository: an HTTP/JSON
+// daemon over the internal/session serving layer. Clients register graphs
+// (by edge-list upload or generator spec, keyed by graph.Fingerprint),
+// compile plans (keyed by decomp.PlanKey), and submit decompose requests
+// that ride the session cache and singleflight; per-round RoundStats
+// stream to clients over SSE through the session's observer fan-out, and
+// the telemetry registry is exposed on /metrics next to expvar and pprof.
+//
+// A Server with a store path is durable: the completed-partition LRU (and
+// the graph/plan registries) snapshot to disk periodically and on Close,
+// and recover on boot behind an integrity hash — warm hits survive
+// restarts (see internal/session/persistence.go and persist.go here).
+//
+// The API (full anatomy in DESIGN.md §12):
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/algorithms           registry + generator family names
+//	POST /v1/graphs               register: JSON GraphSpec or edge-list body
+//	GET  /v1/graphs               list registered graphs
+//	GET  /v1/graphs/{fp}          one graph's metadata
+//	POST /v1/plans                compile a PlanSpec
+//	GET  /v1/plans                list compiled plans
+//	GET  /v1/plans/{key}          one plan's metadata
+//	POST /v1/decompose            execute (or serve cached); JSON result
+//	POST /v1/decompose/stream     same, streaming round stats over SSE
+//	GET  /v1/stats                session counters + store state
+//	POST /v1/store/flush          force a snapshot now
+//	GET  /metrics                 Prometheus text (plus /debug/vars, /debug/pprof/)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/graphio"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/session"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the session's execution pool (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the completed-result LRU (0 = session default 256).
+	CacheSize int
+	// StorePath enables the persistent result store at this file path.
+	StorePath string
+	// FlushInterval is the periodic snapshot cadence when StorePath is set
+	// (0 = flush only on Close and explicit /v1/store/flush).
+	FlushInterval time.Duration
+	// Recorder is an externally owned telemetry recorder; nil builds a
+	// private metrics registry.
+	Recorder *obs.Recorder
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// graphEntry is one registered graph.
+type graphEntry struct {
+	g    *graph.Graph
+	info GraphInfo
+}
+
+// planEntry is one compiled plan.
+type planEntry struct {
+	pl   *decomp.Plan
+	info PlanInfo
+}
+
+// Server is the HTTP serving daemon: session + registries + persistence.
+// Create with New, mount Handler, and Close on shutdown (Close flushes the
+// store).
+type Server struct {
+	sess *session.Session
+	rec  *obs.Recorder
+	logf func(string, ...any)
+
+	mu     sync.RWMutex
+	graphs map[uint64]*graphEntry
+	plans  map[uint64]*planEntry
+
+	store *persister // nil when persistence is disabled
+	mux   *http.ServeMux
+
+	cRequests   *obs.Counter
+	cErrors     *obs.Counter
+	cSSEClients *obs.Counter
+	cSSEDropped *obs.Counter
+	hRequest    *obs.Histogram
+	hDecompose  *obs.Histogram
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the server: starts the session, recovers the persistent
+// store (when configured), and wires the routes. A corrupt snapshot is
+// never fatal — the server logs it, reports it under /v1/stats, and boots
+// cold; see persist.go.
+func New(opts Options) *Server {
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.New(obs.NewRegistry(), nil)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sopts := []session.Option{session.WithRecorder(rec)}
+	if opts.Workers > 0 {
+		sopts = append(sopts, session.WithWorkers(opts.Workers))
+	}
+	if opts.CacheSize > 0 {
+		sopts = append(sopts, session.WithCacheSize(opts.CacheSize))
+	}
+	s := &Server{
+		sess:   session.New(sopts...),
+		rec:    rec,
+		logf:   logf,
+		graphs: map[uint64]*graphEntry{},
+		plans:  map[uint64]*planEntry{},
+	}
+	s.cRequests = rec.Counter("serve.requests")
+	s.cErrors = rec.Counter("serve.errors")
+	s.cSSEClients = rec.Counter("serve.sse.clients")
+	s.cSSEDropped = rec.Counter("serve.sse.dropped_rounds")
+	s.hRequest = rec.Histogram("serve.request.ns")
+	s.hDecompose = rec.Histogram("serve.decompose.ns")
+	if opts.StorePath != "" {
+		s.store = newPersister(s, opts.StorePath, opts.FlushInterval)
+		s.store.recover()
+		s.store.start()
+	}
+	s.routes()
+	return s
+}
+
+// Session exposes the underlying serving session (telemetry, stats).
+func (s *Server) Session() *session.Session { return s.sess }
+
+// Registry returns the telemetry registry behind the server's recorder.
+func (s *Server) Registry() *obs.Registry { return s.rec.Registry() }
+
+// Close flushes the store (when configured) and shuts the session down.
+// Idempotent; the first call's error sticks.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.store != nil {
+			s.closeErr = s.store.stop()
+		}
+		s.sess.Close()
+	})
+	return s.closeErr
+}
+
+// Flush forces a snapshot of the result store now, returning the number
+// of entries written. It errors when persistence is disabled.
+func (s *Server) Flush() (int, error) {
+	if s.store == nil {
+		return 0, errors.New("serve: no store configured")
+	}
+	return s.store.flush()
+}
+
+// Handler returns the server's HTTP handler (mount it on any listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// routes wires the mux. Method-qualified patterns (Go 1.22 ServeMux) give
+// 405s for free.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealth))
+	mux.HandleFunc("GET /v1/algorithms", s.instrument(s.handleAlgorithms))
+	mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleRegisterGraph))
+	mux.HandleFunc("GET /v1/graphs", s.instrument(s.handleListGraphs))
+	mux.HandleFunc("GET /v1/graphs/{fp}", s.instrument(s.handleGetGraph))
+	mux.HandleFunc("POST /v1/plans", s.instrument(s.handleRegisterPlan))
+	mux.HandleFunc("GET /v1/plans", s.instrument(s.handleListPlans))
+	mux.HandleFunc("GET /v1/plans/{key}", s.instrument(s.handleGetPlan))
+	mux.HandleFunc("POST /v1/decompose", s.instrument(s.handleDecompose))
+	mux.HandleFunc("POST /v1/decompose/stream", s.instrument(s.handleDecomposeStream))
+	mux.HandleFunc("GET /v1/stats", s.instrument(s.handleStats))
+	mux.HandleFunc("POST /v1/store/flush", s.instrument(s.handleStoreFlush))
+	MountDebug(mux, s.rec.Registry())
+	s.mux = mux
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.cRequests.Inc()
+		h(w, r)
+		s.hRequest.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// writeJSON emits one JSON document with status code.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("serve: writing response: %v", err)
+	}
+}
+
+// fail emits the uniform error document.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.cErrors.Inc()
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"algorithms": decomp.Names(),
+		"families":   familyNames(),
+	})
+}
+
+// handleRegisterGraph accepts either a JSON GraphSpec (Content-Type
+// application/json) or a raw edge-list body in the graphio interchange
+// format. Registration is idempotent: the graph is keyed by its content
+// fingerprint, so re-registering returns the existing entry.
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var (
+		g    *graph.Graph
+		info GraphInfo
+	)
+	if isJSONRequest(r) {
+		var spec GraphSpec
+		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			s.fail(w, http.StatusBadRequest, "decoding graph spec: %v", err)
+			return
+		}
+		built, err := spec.Build()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		g = built
+		sp := spec
+		info = GraphInfo{Source: spec.String(), Spec: &sp}
+	} else {
+		parsed, err := graphio.Read(body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "parsing edge list: %v", err)
+			return
+		}
+		g = parsed
+		info = GraphInfo{Source: "upload"}
+	}
+	info.Fingerprint = keyString(g.Fingerprint())
+	info.N = g.N()
+	info.M = graph.EdgeCount(g)
+	s.mu.Lock()
+	if existing, ok := s.graphs[g.Fingerprint()]; ok {
+		info = existing.info // idempotent: first registration wins
+	} else {
+		s.graphs[g.Fingerprint()] = &graphEntry{g: g, info: info}
+		s.rec.Gauge("serve.graphs").Set(int64(len(s.graphs)))
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, e.info)
+	}
+	s.mu.RUnlock()
+	sortByString(out, func(gi GraphInfo) string { return gi.Fingerprint })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	fp, err := parseKey(r.PathValue("fp"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	e, ok := s.graphs[fp]
+	s.mu.RUnlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, "graph %s not registered", keyString(fp))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, e.info)
+}
+
+// handleRegisterPlan compiles a PlanSpec. Compilation is the expensive
+// validating half of the split API; it happens exactly once per
+// configuration — re-registering an equivalent spec returns the existing
+// plan (keyed by PlanKey).
+func (s *Server) handleRegisterPlan(w http.ResponseWriter, r *http.Request) {
+	var spec PlanSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&spec); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding plan spec: %v", err)
+		return
+	}
+	pl, err := spec.Compile()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info := PlanInfo{Plan: keyString(pl.PlanKey()), Algorithm: pl.Name(), Seed: pl.Seed(), Spec: spec}
+	s.mu.Lock()
+	if existing, ok := s.plans[pl.PlanKey()]; ok {
+		info = existing.info
+	} else {
+		s.plans[pl.PlanKey()] = &planEntry{pl: pl, info: info}
+		s.rec.Gauge("serve.plans").Set(int64(len(s.plans)))
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListPlans(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]PlanInfo, 0, len(s.plans))
+	for _, e := range s.plans {
+		out = append(out, e.info)
+	}
+	s.mu.RUnlock()
+	sortByString(out, func(pi PlanInfo) string { return pi.Plan })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r.PathValue("key"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	e, ok := s.plans[key]
+	s.mu.RUnlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, "plan %s not registered", keyString(key))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, e.info)
+}
+
+// resolve looks up the graph and plan a decompose request addresses and
+// applies the seed override.
+func (s *Server) resolve(req DecomposeRequest) (*graph.Graph, *decomp.Plan, error) {
+	fp, err := parseKey(req.Graph)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	key, err := parseKey(req.Plan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: %w", err)
+	}
+	s.mu.RLock()
+	ge, gok := s.graphs[fp]
+	pe, pok := s.plans[key]
+	s.mu.RUnlock()
+	if !gok {
+		return nil, nil, fmt.Errorf("graph %s not registered (POST /v1/graphs first)", keyString(fp))
+	}
+	if !pok {
+		return nil, nil, fmt.Errorf("plan %s not registered (POST /v1/plans first)", keyString(key))
+	}
+	pl := pe.pl
+	if req.Seed != nil {
+		pl = pl.WithSeed(*req.Seed)
+	}
+	return ge.g, pl, nil
+}
+
+// handleDecompose is the synchronous serving path: resolve, ride the
+// session (cache hit, singleflight attach, or fresh execution), respond
+// with the stable partition document.
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req DecomposeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	g, pl, err := s.resolve(req)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	start := time.Now()
+	j := s.sess.Submit(r.Context(), pl, g)
+	p, err := j.Wait()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "decompose: %v", err)
+		return
+	}
+	lat := time.Since(start)
+	s.hDecompose.Observe(lat.Nanoseconds())
+	s.writeJSON(w, http.StatusOK, DecomposeResponse{
+		Graph:     keyString(j.Key().Graph),
+		Plan:      keyString(j.Key().Plan),
+		Seed:      j.Key().Seed,
+		Algorithm: pl.Name(),
+		CacheHit:  j.CacheHit(),
+		LatencyNs: lat.Nanoseconds(),
+		Partition: p,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	ngraphs, nplans := len(s.graphs), len(s.plans)
+	s.mu.RUnlock()
+	resp := StatsResponse{Session: s.sess.Stats(), Graphs: ngraphs, Plans: nplans}
+	if s.store != nil {
+		resp.Store = s.store.info()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStoreFlush(w http.ResponseWriter, _ *http.Request) {
+	n, err := s.Flush()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]int{"entries": n})
+}
+
+// maxUploadBytes bounds request bodies (edge lists included): 256 MiB
+// admits graphs in the tens of millions of edges while keeping one client
+// from exhausting memory.
+const maxUploadBytes = 256 << 20
+
+// isJSONRequest reports whether the request declared a JSON body.
+func isJSONRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == "application/json" || len(ct) > 16 && ct[:16] == "application/json"
+}

@@ -1,0 +1,31 @@
+package session
+
+// Stable JSON for the session counters: hand-rolled with frozen field
+// order so API responses and snapshot metadata are byte-diffable in tests
+// (the decomp.Partition document follows the same convention; see
+// internal/decomp/json.go).
+
+import "strconv"
+
+// MarshalJSON renders the stats with frozen field order:
+// hits, misses, dedups, evictions, observerPanics, inFlight, cached.
+func (st Stats) MarshalJSON() ([]byte, error) {
+	b := []byte{'{'}
+	field := func(name string, v uint64, last bool) {
+		b = strconv.AppendQuote(b, name)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, v, 10)
+		if !last {
+			b = append(b, ',')
+		}
+	}
+	field("hits", st.Hits, false)
+	field("misses", st.Misses, false)
+	field("dedups", st.Dedups, false)
+	field("evictions", st.Evictions, false)
+	field("observerPanics", st.ObserverPanics, false)
+	field("inFlight", uint64(st.InFlight), false)
+	field("cached", uint64(st.Cached), true)
+	b = append(b, '}')
+	return b, nil
+}

@@ -1,0 +1,27 @@
+package session
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStatsJSONStable pins the stats document: frozen field order, plain
+// integers, byte-diffable.
+func TestStatsJSONStable(t *testing.T) {
+	st := Stats{Hits: 5, Misses: 2, Dedups: 1, Evictions: 3, ObserverPanics: 0, InFlight: 4, Cached: 7}
+	const want = `{"hits":5,"misses":2,"dedups":1,"evictions":3,"observerPanics":0,"inFlight":4,"cached":7}`
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("unstable marshal:\n got %s\nwant %s", got, want)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal(got, &m); err != nil {
+		t.Fatalf("document does not parse: %v", err)
+	}
+	if m["hits"] != 5 || m["cached"] != 7 {
+		t.Fatalf("decoded document mangled: %v", m)
+	}
+}

@@ -1,0 +1,65 @@
+package session
+
+// Recovery: the boot-time half of persistence. A serving process snapshots
+// its session to a file (periodically and on shutdown) and recovers it on
+// the next boot, so the cache is warm the moment the listener opens.
+// Recovery is strictly best-effort and fail-cold: a missing file is a
+// normal first boot, and a damaged file is reported (ErrCorruptSnapshot)
+// while the session stays empty — a partition whose bytes cannot be
+// authenticated is never served.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotToFile atomically writes the session's cache (plus the caller's
+// opaque metadata) to path: the snapshot is written to a temporary file in
+// the same directory and renamed over path, so a crash mid-write leaves
+// the previous snapshot intact. It returns the number of entries written.
+func (s *Session) SnapshotToFile(path string, meta []byte) (int, error) {
+	entries := s.ExportCache()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("session: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	err = WriteSnapshot(tmp, Snapshot{Entries: entries, Meta: meta})
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("session: snapshot %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("session: snapshot: %w", err)
+	}
+	return len(entries), nil
+}
+
+// RecoverFromFile loads the snapshot at path into the session cache and
+// returns the caller metadata and the number of entries restored.
+//
+// A missing file is a clean cold start: (nil, 0, nil). A file that fails
+// the integrity hash (or is otherwise undecodable) restores nothing and
+// returns an error wrapping ErrCorruptSnapshot — the caller logs it and
+// serves cold; it must never ignore the error and assume warmth.
+func (s *Session) RecoverFromFile(path string) (meta []byte, restored int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("session: recover %s: %w", path, err)
+	}
+	defer f.Close()
+	snap, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("session: recover %s: %w", path, err)
+	}
+	return snap.Meta, s.SeedCache(snap.Entries), nil
+}

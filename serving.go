@@ -1,0 +1,78 @@
+package netdecomp
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"netdecomp/internal/obs"
+	"netdecomp/internal/serve"
+	"netdecomp/internal/session"
+)
+
+// The serving daemon API: the HTTP/JSON front door over the session layer
+// (package internal/serve, command netdecompd). Register graphs and
+// compiled plans, decompose through the cache and singleflight, stream
+// per-round statistics over SSE, and — with a store path — persist the
+// completed-partition cache across restarts behind an integrity-hashed
+// snapshot.
+//
+//	s := netdecomp.NewServer(netdecomp.ServerOptions{
+//		StorePath: "netdecomp.snap",
+//	})
+//	defer s.Close()
+//	http.ListenAndServe(":8080", s.Handler())
+//
+// See DESIGN.md §12 for the API surface and the persistence format.
+
+// Server is the HTTP serving daemon: session + graph/plan registries +
+// persistent result store.
+type Server = serve.Server
+
+// ServerOptions configures NewServer.
+type ServerOptions = serve.Options
+
+// NewServer builds a serving daemon: it starts the session, recovers the
+// persistent store when configured (a corrupt snapshot boots cold, never
+// fails), and wires the API routes. Close it to flush and shut down.
+func NewServer(opts ServerOptions) *Server { return serve.New(opts) }
+
+// LoadOptions shapes one RunLoad invocation.
+type LoadOptions = serve.LoadOptions
+
+// LoadReport is the outcome of one RunLoad run.
+type LoadReport = serve.LoadReport
+
+// RunLoad replays a Zipf repeat/fresh request mix against the daemon at
+// baseURL with N concurrent clients — the load-generator harness behind
+// netdecompd -loadgen and BENCH_serve.json.
+func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport, error) {
+	return serve.RunLoad(ctx, baseURL, opt)
+}
+
+// MountDebug adds the shared observability routes — /metrics (Prometheus
+// text), /debug/vars (expvar) and /debug/pprof/ — to mux, serving reg.
+func MountDebug(mux *http.ServeMux, reg *obs.Registry) { serve.MountDebug(mux, reg) }
+
+// SessionSnapshot is a portable image of a session's completed-partition
+// cache plus an opaque metadata blob.
+type SessionSnapshot = session.Snapshot
+
+// SessionCacheEntry is one (key, partition) pair of a SessionSnapshot.
+type SessionCacheEntry = session.CacheEntry
+
+// ErrCorruptSnapshot is wrapped by snapshot reads that fail the integrity
+// hash or structural checks; recovery treats it as "boot cold".
+var ErrCorruptSnapshot = session.ErrCorruptSnapshot
+
+// WriteSnapshot writes snap with the netdecomp snapshot framing: magic,
+// SHA-256 integrity hash, gzip-compressed gob payload.
+func WriteSnapshot(w io.Writer, snap SessionSnapshot) error {
+	return session.WriteSnapshot(w, snap)
+}
+
+// ReadSnapshot reads and verifies a snapshot; corruption of any byte
+// yields an error wrapping ErrCorruptSnapshot, never partial data.
+func ReadSnapshot(r io.Reader) (SessionSnapshot, error) {
+	return session.ReadSnapshot(r)
+}

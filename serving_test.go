@@ -1,0 +1,82 @@
+package netdecomp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	netdecomp "netdecomp"
+)
+
+// TestServingFacade drives the serving surface through the root package:
+// boot a server, register a workload, decompose cold and warm, and check
+// the debug mux is mounted.
+func TestServingFacade(t *testing.T) {
+	s := netdecomp.NewServer(netdecomp.ServerOptions{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string, body string, out any) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gi struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	post("/v1/graphs", `{"family":"gnp","n":128,"seed":3}`, &gi)
+	var pi struct {
+		Plan string `json:"plan"`
+	}
+	post("/v1/plans", `{"algorithm":"elkin-neiman","forceComplete":true}`, &pi)
+	req := `{"graph":"` + gi.Fingerprint + `","plan":"` + pi.Plan + `"}`
+	var cold, warm struct {
+		CacheHit bool `json:"cacheHit"`
+	}
+	post("/v1/decompose", req, &cold)
+	post("/v1/decompose", req, &warm)
+	if cold.CacheHit || !warm.CacheHit {
+		t.Fatalf("cold=%v warm=%v", cold.CacheHit, warm.CacheHit)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+}
+
+// TestSnapshotFacade round-trips an empty snapshot through the exported
+// codec and checks corruption is surfaced as ErrCorruptSnapshot.
+func TestSnapshotFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := netdecomp.WriteSnapshot(&buf, netdecomp.SessionSnapshot{Meta: []byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := netdecomp.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.Meta) != "m" {
+		t.Fatalf("meta: %q", snap.Meta)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 1
+	if _, err := netdecomp.ReadSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
