@@ -40,6 +40,7 @@ import (
 //	netdecomp -family gnp -n 1024 -repeat 5            # cache hits
 //	netdecomp -family gnp -n 1024 -sweep-seeds 8       # seed sweep, one plan
 //	netdecomp -n 512 -sweep                            # every gen family
+//	netdecomp -family gnp -n 1024 -pipeline dag.json -repeat 2  # typed stage DAG
 //
 // Observability: every run collects its telemetry (round counters,
 // frontier/latency histograms, session cache statistics) in a unified
@@ -78,6 +79,7 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Bool("parallel", false, "with -distributed: use the goroutine-parallel scheduler")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	repeat := fs.Int("repeat", 1, "submit the identical job this many times through a session (exercises the result cache)")
+	pipelineFile := fs.String("pipeline", "", "execute a JSON pipeline document (the POST /v1/pipeline spec) on the graph instead of a single plan; -repeat re-runs it against the warm session")
 	sweepSeeds := fs.Int("sweep-seeds", 0, "run seeds seed..seed+N-1 through a session as one streamed batch")
 	sweep := fs.Bool("sweep", false, "run the algorithm on every graph family (no -input), one session")
 	metricsAddr := fs.String("metrics-addr", "", "serve the telemetry registry on this address: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (live profiling)")
@@ -195,6 +197,9 @@ func run(args []string, w io.Writer) error {
 		g, source, err := loadGraph(*input, *family, *n, *seed)
 		if err != nil {
 			return err
+		}
+		if *pipelineFile != "" {
+			return deadline(runPipelineFile(ctx, w, rec, *pipelineFile, g, source, *repeat), *timeout)
 		}
 		if *sweepSeeds > 0 {
 			return deadline(runSeedSweep(ctx, w, pl, rec, g, source, *seed, *sweepSeeds, *repeat), *timeout)

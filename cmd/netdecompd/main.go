@@ -18,6 +18,18 @@
 //	     -d '{"algorithm":"elkin-neiman","forceComplete":true}'
 //	curl -s localhost:8080/v1/decompose -d '{"graph":"<fp>","plan":"<key>"}'
 //
+// Pipelines compose multiple stages into one request: a typed DAG of
+// decompose plans and derived-structure builders (recolor, MIS, coloring,
+// matching, spanner, cover) executes level-parallel through the session,
+// so a re-post after one upstream edit recomputes only the affected
+// stages. The stream variant emits per-stage start/done events over SSE:
+//
+//	curl -s localhost:8080/v1/pipeline -d '{"graph":"<fp>","pipeline":{
+//	  "stages":[{"id":"dec","decompose":{"algorithm":"elkin-neiman","forceComplete":true}},
+//	            {"id":"re","recolor":{}},{"id":"mis","mis":{}},{"id":"sp","spanner":{}}],
+//	  "edges":[{"from":"dec","to":"re"},{"from":"re","to":"mis"},{"from":"dec","to":"sp"}]}}'
+//	curl -sN localhost:8080/v1/pipeline/stream -d @pipeline.json
+//
 // The built-in load generator replays a Zipf repeat/fresh mix against a
 // running daemon and prints hit/miss counts with warm-path latency
 // quantiles (the numbers BENCH_serve.json records):

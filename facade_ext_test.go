@@ -158,6 +158,87 @@ func TestFacadeViewDecompose(t *testing.T) {
 	}
 }
 
+// TestFacadePipeline exercises the pipeline exports end to end: build a
+// typed stage DAG through the facade, run it with a session attached, and
+// check the warm rerun rides the cache while the observer sees every
+// stage.
+func TestFacadePipeline(t *testing.T) {
+	ctx := context.Background()
+	g := netdecomp.GnpConnected(netdecomp.NewRNG(17), 250, 0.02)
+
+	pl, err := netdecomp.Compile("elkin-neiman",
+		netdecomp.WithSeed(11), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := netdecomp.NewPipeline().
+		AddStage("dec", netdecomp.DecomposeStage(pl)).
+		AddStage("re", netdecomp.RecolorStage()).
+		AddStage("mis", netdecomp.MISStage()).
+		AddStage("sp", netdecomp.SpannerStage()).
+		AddEdge("dec", "re").
+		AddEdge("re", "mis").
+		AddEdge("dec", "sp").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := netdecomp.NewSession(netdecomp.WithSessionCacheSize(16))
+	defer s.Close()
+	var events int
+	res, err := netdecomp.RunPipeline(ctx, p, g,
+		netdecomp.PipelineSession(s), netdecomp.PipelineWorkers(2),
+		netdecomp.PipelineObserver(func(netdecomp.PipelineStageEvent) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || events != 8 {
+		t.Fatalf("cold run: hits=%d events=%d, want 0 hits, 8 events", res.CacheHits, events)
+	}
+	direct, err := netdecomp.RunPlan(ctx, pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Partition("dec"), direct) {
+		t.Fatal("pipeline decompose differs from direct plan run")
+	}
+	if mis := res.Stage("mis").MIS; mis == nil || mis.Size == 0 {
+		t.Fatal("pipeline MIS empty")
+	}
+	warm, err := netdecomp.RunPipeline(ctx, p, g, netdecomp.PipelineSession(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 1 {
+		t.Fatalf("warm rerun cache hits = %d, want 1", warm.CacheHits)
+	}
+
+	// The JSON wire form compiles to the same DAG shape.
+	spec, err := netdecomp.ParsePipelineSpec([]byte(`{
+		"stages": [
+			{"id": "dec", "decompose": {"algorithm": "elkin-neiman", "seed": 11, "forceComplete": true}},
+			{"id": "re", "recolor": {}},
+			{"id": "mis", "mis": {}},
+			{"id": "sp", "spanner": {}}
+		],
+		"edges": [
+			{"from": "dec", "to": "re"},
+			{"from": "re", "to": "mis"},
+			{"from": "dec", "to": "sp"}
+		]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Levels(), p2.Levels()) {
+		t.Fatalf("spec levels %v differ from builder levels %v", p2.Levels(), p.Levels())
+	}
+}
+
 // TestFacadePlanSession exercises the Plan/Session exports end to end:
 // compile, direct plan run, session serving with cache hits, the batch
 // API, and derived structures riding the session cache.

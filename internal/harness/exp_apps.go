@@ -11,6 +11,7 @@ import (
 	"netdecomp/internal/dist"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/obs"
+	"netdecomp/internal/pipeline"
 	"netdecomp/internal/stats"
 	"netdecomp/internal/verify"
 )
@@ -56,18 +57,38 @@ func T9Applications(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The whole application chain — decompose → recolor →
+			// {MIS, coloring, matching} — is one typed pipeline per trial,
+			// and all trials fan out into a single DAG the executor runs
+			// level-parallel through the shared session.
+			b := pipeline.NewBuilder()
+			sid := func(kind string, i int) string { return fmt.Sprintf("%s/%d", kind, i) }
+			for i := 0; i < trials; i++ {
+				seed := cfg.Seed + uint64(i)*431
+				b.AddStage(sid("dec", i), pipeline.Decompose(pl.WithSeed(seed))).
+					AddStage(sid("re", i), pipeline.Recolor()).
+					AddStage(sid("mis", i), pipeline.MIS()).
+					AddStage(sid("col", i), pipeline.Coloring()).
+					AddStage(sid("mat", i), pipeline.Matching()).
+					AddEdge(sid("dec", i), sid("re", i)).
+					AddEdge(sid("re", i), sid("mis", i)).
+					AddEdge(sid("re", i), sid("col", i)).
+					AddEdge(sid("re", i), sid("mat", i))
+			}
+			pipe, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			res, err := runPipeline(ctx, pipe, g)
+			if err != nil {
+				return nil, err
+			}
 			var dMax, chiMean, dchi, misR, colR, matR, lubyR, randR []float64
 			valid := true
 			for i := 0; i < trials; i++ {
 				seed := cfg.Seed + uint64(i)*431
-				p, err := runPlan(ctx, pl.WithSeed(seed), g)
-				if err != nil {
-					return nil, err
-				}
-				in, err := apps.FromPartition(g, p)
-				if err != nil {
-					return nil, err
-				}
+				p := res.Partition(sid("dec", i))
+				in := *res.Stage(sid("re", i)).AppInput
 				// The sweep cost is governed by the diameter notion the
 				// algorithm bounds: strong where clusters are connected,
 				// weak otherwise.
@@ -85,18 +106,9 @@ func T9Applications(cfg Config) (*Table, error) {
 						chi = c + 1
 					}
 				}
-				mis, err := apps.MIS(g, in)
-				if err != nil {
-					return nil, err
-				}
-				col, err := apps.Coloring(g, in)
-				if err != nil {
-					return nil, err
-				}
-				mat, err := apps.Matching(g, in)
-				if err != nil {
-					return nil, err
-				}
+				mis := res.Stage(sid("mis", i)).MIS
+				col := res.Stage(sid("col", i)).Coloring
+				mat := res.Stage(sid("mat", i)).Matching
 				luby, err := apps.LubyMIS(g, seed)
 				if err != nil {
 					return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
+	"netdecomp/internal/pipeline"
 	"netdecomp/internal/stats"
 	"netdecomp/internal/verify"
 )
@@ -47,14 +48,27 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Both contenders across all trials form one pipeline of mutually
+		// independent decompose stages — a single level the executor runs
+		// in parallel through the shared session.
+		b := pipeline.NewBuilder()
+		for i := 0; i < trials; i++ {
+			seed := cfg.Seed + uint64(i)*271
+			b.AddStage(fmt.Sprintf("en/%d", i), pipeline.Decompose(en.WithSeed(seed)))
+			b.AddStage(fmt.Sprintf("ls/%d", i), pipeline.Decompose(ls.WithSeed(seed)))
+		}
+		p, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := runPipeline(ctx, p, g)
+		if err != nil {
+			return nil, err
+		}
 		var enDiam, enColors, enRounds []float64
 		var lsWeak, lsStrong, lsColors, lsRounds, lsDiscFrac []float64
 		for i := 0; i < trials; i++ {
-			seed := cfg.Seed + uint64(i)*271
-			enP, err := runPlan(ctx, en.WithSeed(seed), g)
-			if err != nil {
-				return nil, err
-			}
+			enP := res.Partition(fmt.Sprintf("en/%d", i))
 			d, disc := enP.StrongDiameter(g)
 			if disc != 0 {
 				return nil, fmt.Errorf("harness: EN cluster disconnected")
@@ -63,10 +77,7 @@ func T5VersusLinialSaks(cfg Config) (*Table, error) {
 			enColors = append(enColors, float64(enP.Colors))
 			enRounds = append(enRounds, float64(enP.Metrics.Rounds))
 
-			lsP, err := runPlan(ctx, ls.WithSeed(seed), g)
-			if err != nil {
-				return nil, err
-			}
+			lsP := res.Partition(fmt.Sprintf("ls/%d", i))
 			wd, ok := lsP.WeakDiameter(g)
 			if !ok {
 				return nil, fmt.Errorf("harness: LS cluster spans components")
@@ -118,14 +129,25 @@ func T8MPXPartition(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			// All trial seeds fan out as one single-level pipeline; the
+			// executor runs them in parallel through the shared session.
+			b := pipeline.NewBuilder()
+			for i := 0; i < trials; i++ {
+				b.AddStage(fmt.Sprintf("seed/%d", i), pipeline.Decompose(mpx.WithSeed(cfg.Seed+uint64(i)*523)))
+			}
+			pipe, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			res, err := runPipeline(ctx, pipe, g)
+			if err != nil {
+				return nil, err
+			}
 			var cuts, diams, counts []float64
 			disconnected := 0
 			ballMax := 0
 			for i := 0; i < trials; i++ {
-				p, err := runPlan(ctx, mpx.WithSeed(cfg.Seed+uint64(i)*523), g)
-				if err != nil {
-					return nil, err
-				}
+				p := res.Partition(fmt.Sprintf("seed/%d", i))
 				cuts = append(cuts, p.CutFraction)
 				sd, disc := p.StrongDiameter(g)
 				disconnected += disc

@@ -5,6 +5,7 @@ import (
 
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/pipeline"
 	"netdecomp/internal/session"
 )
 
@@ -20,6 +21,18 @@ var sharedSession = session.New(session.WithCacheSize(512))
 // runPlan executes one compiled plan through the shared session.
 func runPlan(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error) {
 	return sharedSession.Run(ctx, pl, g)
+}
+
+// sharedExecutor runs stage pipelines through the shared session: every
+// decompose stage of every experiment rides the same cache and dedup
+// layer runPlan uses, and independent stages (trial fan-outs, contender
+// pairs) execute level-parallel.
+var sharedExecutor = pipeline.NewExecutor(pipeline.WithSession(sharedSession))
+
+// runPipeline executes one validated stage DAG through the shared
+// session.
+func runPipeline(ctx context.Context, p *pipeline.Pipeline, g graph.Interface) (*pipeline.Result, error) {
+	return sharedExecutor.Run(ctx, p, g)
 }
 
 // SessionStats exposes the shared session's counters, so callers (and the

@@ -1,0 +1,254 @@
+package pipeline
+
+// The fluent DAG builder. AddStage/AddEdge accumulate nodes, edges and
+// any incremental errors; Build performs the structural validation in one
+// place — unique IDs, known endpoints, typed edges, arity, acyclicity via
+// Kahn's algorithm — and freezes the pipeline with its level schedule, so
+// an Executor never re-validates.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builder constructs a validated Pipeline using a fluent API. Errors
+// accumulate across AddStage/AddEdge calls and are reported together by
+// Build, so call sites chain without per-call checks.
+type Builder struct {
+	order  []string
+	stages map[string]Stage
+	edges  [][2]string
+	errs   []error
+}
+
+// NewBuilder returns an empty pipeline builder.
+func NewBuilder() *Builder {
+	return &Builder{stages: map[string]Stage{}}
+}
+
+// AddStage registers a stage under id. IDs must be unique and non-empty;
+// any other string content is fine. Sorted IDs order the deterministic
+// dispatch within a level.
+func (b *Builder) AddStage(id string, st Stage) *Builder {
+	switch {
+	case id == "":
+		b.errs = append(b.errs, fmt.Errorf("stage with empty id"))
+	case st == nil:
+		b.errs = append(b.errs, fmt.Errorf("stage %q is nil", id))
+	default:
+		if _, dup := b.stages[id]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate stage id %q", id))
+			return b
+		}
+		b.stages[id] = st
+		b.order = append(b.order, id)
+	}
+	return b
+}
+
+// AddEdge declares a typed data dependency: to consumes from's value.
+func (b *Builder) AddEdge(from, to string) *Builder {
+	b.edges = append(b.edges, [2]string{from, to})
+	return b
+}
+
+// Pipeline is a validated, immutable stage DAG. Build one with Builder
+// (or a JSON Spec) and execute it any number of times with an Executor;
+// a Pipeline is safe for concurrent Runs.
+type Pipeline struct {
+	stages map[string]*node
+	// levels is the execution schedule: levels[l] holds the sorted IDs of
+	// the stages whose longest dependency chain has length l. All stages of
+	// one level are mutually independent.
+	levels [][]string
+}
+
+// node is one frozen DAG vertex.
+type node struct {
+	id    string
+	st    Stage
+	ins   []string // sorted upstream IDs
+	outs  []string // sorted downstream IDs
+	level int
+}
+
+// Build validates the accumulated stages and edges and freezes the
+// pipeline. All accumulated errors are reported together.
+func (b *Builder) Build() (*Pipeline, error) {
+	errs := append([]error(nil), b.errs...)
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if len(b.stages) == 0 && len(errs) == 0 {
+		fail("pipeline has no stages")
+	}
+
+	nodes := make(map[string]*node, len(b.stages))
+	for id, st := range b.stages {
+		nodes[id] = &node{id: id, st: st}
+	}
+	seen := map[[2]string]bool{}
+	for _, e := range b.edges {
+		from, to := e[0], e[1]
+		nf, nt := nodes[from], nodes[to]
+		switch {
+		case nf == nil:
+			fail("edge %s->%s: unknown stage %q", from, to, from)
+		case nt == nil:
+			fail("edge %s->%s: unknown stage %q", from, to, to)
+		case from == to:
+			fail("edge %s->%s: self-loop", from, to)
+		case seen[e]:
+			fail("edge %s->%s: duplicate", from, to)
+		default:
+			seen[e] = true
+			// The typed-dependency check: the producer's kind must be
+			// consumable by the receiver.
+			if !nt.st.accepts(nf.st.Kind()) {
+				fail("edge %s->%s: %s stage cannot consume a %s value",
+					from, to, nt.st.Kind(), nf.st.Kind())
+				continue
+			}
+			nf.outs = append(nf.outs, to)
+			nt.ins = append(nt.ins, from)
+		}
+	}
+	for _, id := range sortedIDs(nodes) {
+		n := nodes[id]
+		sort.Strings(n.ins)
+		sort.Strings(n.outs)
+		if min, max := n.st.arity(); len(n.ins) < min || len(n.ins) > max {
+			switch {
+			case min == max && min == 1:
+				fail("stage %s (%s): wants exactly one in-edge, has %d", id, n.st.Kind(), len(n.ins))
+			case len(n.ins) < min:
+				fail("stage %s (%s): wants at least %d in-edges, has %d", id, n.st.Kind(), min, len(n.ins))
+			default:
+				fail("stage %s (%s): wants at most %d in-edges, has %d", id, n.st.Kind(), max, len(n.ins))
+			}
+		}
+	}
+
+	// Kahn's algorithm: peel in-degree-zero stages level by level. Anything
+	// left unpeeled sits on a cycle.
+	indeg := make(map[string]int, len(nodes))
+	for id, n := range nodes {
+		indeg[id] = len(n.ins)
+	}
+	frontier := make([]string, 0, len(nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Strings(frontier)
+	var levels [][]string
+	peeled := 0
+	for level := 0; len(frontier) > 0; level++ {
+		levels = append(levels, frontier)
+		var next []string
+		for _, id := range frontier {
+			nodes[id].level = level
+			peeled++
+			for _, out := range nodes[id].outs {
+				if indeg[out]--; indeg[out] == 0 {
+					next = append(next, out)
+				}
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	if peeled != len(nodes) {
+		var cyclic []string
+		for id, d := range indeg {
+			if d > 0 {
+				cyclic = append(cyclic, id)
+			}
+		}
+		sort.Strings(cyclic)
+		fail("cycle through stages [%s]", strings.Join(cyclic, " "))
+	}
+
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("pipeline: invalid: %s", strings.Join(msgs, "; "))
+	}
+	return &Pipeline{stages: nodes, levels: levels}, nil
+}
+
+// Stages returns the stage IDs in execution order: by level, sorted
+// within each level — exactly the deterministic dispatch order.
+func (p *Pipeline) Stages() []string {
+	out := make([]string, 0, len(p.stages))
+	for _, level := range p.levels {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// Levels returns the execution schedule: the sorted stage IDs of each DAG
+// level. Stages of one level are mutually independent and run in
+// parallel.
+func (p *Pipeline) Levels() [][]string {
+	out := make([][]string, len(p.levels))
+	for i, l := range p.levels {
+		out[i] = append([]string(nil), l...)
+	}
+	return out
+}
+
+// Stage returns the stage registered under id (nil when absent).
+func (p *Pipeline) Stage(id string) Stage {
+	if n := p.stages[id]; n != nil {
+		return n.st
+	}
+	return nil
+}
+
+// Inputs returns the sorted upstream stage IDs of id.
+func (p *Pipeline) Inputs(id string) []string {
+	if n := p.stages[id]; n != nil {
+		return append([]string(nil), n.ins...)
+	}
+	return nil
+}
+
+// Downstream returns every stage reachable from id (id excluded), sorted
+// — the set a change to id forces to recompute.
+func (p *Pipeline) Downstream(id string) []string {
+	reached := map[string]bool{}
+	var walk func(string)
+	walk = func(cur string) {
+		for _, out := range p.stages[cur].outs {
+			if !reached[out] {
+				reached[out] = true
+				walk(out)
+			}
+		}
+	}
+	if _, ok := p.stages[id]; !ok {
+		return nil
+	}
+	walk(id)
+	out := make([]string, 0, len(reached))
+	for id := range reached {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedIDs returns the node map's keys in sorted order.
+func sortedIDs(nodes map[string]*node) []string {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

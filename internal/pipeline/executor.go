@@ -1,0 +1,347 @@
+package pipeline
+
+// The level-parallel executor. Each DAG level is a barrier: its stages
+// are dispatched in sorted stage-ID order onto a bounded worker group,
+// and the next level starts when the whole level completed. The schedule
+// is deterministic and — because stages communicate only through their
+// declared edges and every stage is deterministic in its inputs — the
+// results are bit-identical for any worker count, the same contract the
+// engine's parallel scheduler keeps.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netdecomp/internal/apps"
+	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/session"
+	"netdecomp/internal/spanner"
+)
+
+// StageStatus is the lifecycle point a StageEvent reports.
+type StageStatus int
+
+const (
+	// StageStart fires when the stage is dispatched.
+	StageStart StageStatus = iota
+	// StageDone fires when the stage completed successfully.
+	StageDone
+	// StageError fires when the stage failed; Err carries the cause.
+	StageError
+)
+
+// String names the status for logs and wire documents.
+func (s StageStatus) String() string {
+	switch s {
+	case StageStart:
+		return "start"
+	case StageDone:
+		return "done"
+	default:
+		return "error"
+	}
+}
+
+// StageEvent is one streamed execution progress record. Events of one Run
+// are delivered sequentially (the executor serializes the observer), in
+// dispatch order for StageStart and completion order for StageDone.
+type StageEvent struct {
+	// Stage and Kind identify the stage; Level is its DAG level.
+	Stage string
+	Kind  Kind
+	Level int
+	// Status is the lifecycle point.
+	Status StageStatus
+	// CacheHit and LatencyNs are set on StageDone: served from the session
+	// cache, and wall-clock stage latency.
+	CacheHit  bool
+	LatencyNs int64
+	// Err is set on StageError.
+	Err error
+}
+
+// ExecOption configures an Executor.
+type ExecOption func(*Executor)
+
+// WithSession threads a serving session through the pipeline: every
+// decompose stage (and every cover stage's power-graph decomposition) is
+// submitted to s instead of executing its plan directly, so identical
+// work — across stages, across re-runs, across pipelines sharing the
+// session — is deduplicated and served from the result cache.
+func WithSession(s *session.Session) ExecOption {
+	return func(e *Executor) { e.sess = s }
+}
+
+// WithWorkers caps the number of concurrently executing stages (0 or
+// negative = no cap beyond the level width). Results are bit-identical
+// for any cap.
+func WithWorkers(n int) ExecOption {
+	return func(e *Executor) { e.workers = n }
+}
+
+// WithRecorder attaches a telemetry recorder: Run wraps the execution in
+// a "pipeline" span with one "stage/<id>" child span per stage, observes
+// per-stage latency into the pipeline.stage.ns and pipeline.stage.<id>.ns
+// histograms, and counts runs, stage executions, session cache hits and
+// errors under the pipeline.* names.
+func WithRecorder(rec *obs.Recorder) ExecOption {
+	return func(e *Executor) { e.rec = rec }
+}
+
+// WithObserver streams stage lifecycle events to fn as the DAG executes.
+// The executor serializes calls (fn never runs concurrently with itself);
+// fn must not block for long — it stalls the reporting stage's worker.
+func WithObserver(fn func(StageEvent)) ExecOption {
+	return func(e *Executor) { e.observer = fn }
+}
+
+// Executor runs pipelines. The zero value runs stages directly (no
+// session, no telemetry, unbounded level parallelism); it is safe for
+// concurrent Runs.
+type Executor struct {
+	sess     *session.Session
+	workers  int
+	rec      *obs.Recorder
+	observer func(StageEvent)
+
+	obsMu sync.Mutex // serializes observer callbacks
+}
+
+// NewExecutor builds an executor from the options.
+func NewExecutor(opts ...ExecOption) *Executor {
+	e := &Executor{}
+	for _, o := range opts {
+		if o != nil {
+			o(e)
+		}
+	}
+	return e
+}
+
+// Run is the one-shot convenience: build an executor from the options and
+// execute p on g.
+func Run(ctx context.Context, p *Pipeline, g graph.Interface, opts ...ExecOption) (*Result, error) {
+	return NewExecutor(opts...).Run(ctx, p, g)
+}
+
+// StageResult is one completed stage's outcome. Exactly one of the typed
+// result fields is set, matching Kind.
+type StageResult struct {
+	// ID, Kind, Level locate the stage in the DAG.
+	ID    string
+	Kind  Kind
+	Level int
+	// CacheHit reports the stage was served from the session cache without
+	// executing (decompose stages only).
+	CacheHit bool
+	// LatencyNs is the stage's wall-clock latency.
+	LatencyNs int64
+
+	// Graph is the graph the result is relative to: the stage's input
+	// graph, except for spanner stages where it is the produced skeleton.
+	Graph graph.Interface
+	// Partition is set for decompose stages.
+	Partition *decomp.Partition
+	// AppInput is set for recolor stages.
+	AppInput *apps.Input
+	// MIS, Coloring, Matching are set for the application stages.
+	MIS      *apps.MISResult
+	Coloring *apps.ColoringResult
+	Matching *apps.MatchingResult
+	// Spanner is set for spanner stages.
+	Spanner *spanner.Spanner
+	// Cover is set for cover stages.
+	Cover *cover.Cover
+}
+
+// Result is one pipeline execution's outcome.
+type Result struct {
+	// Order is the deterministic execution order (levels concatenated).
+	Order []string
+	// ElapsedNs is the whole run's wall-clock latency.
+	ElapsedNs int64
+	// CacheHits counts stages served from the session cache.
+	CacheHits int
+
+	stages map[string]*StageResult
+}
+
+// Stage returns one stage's result (nil for unknown IDs).
+func (r *Result) Stage(id string) *StageResult { return r.stages[id] }
+
+// Partition returns the partition a decompose stage produced, or nil.
+func (r *Result) Partition(id string) *decomp.Partition {
+	if sr := r.stages[id]; sr != nil {
+		return sr.Partition
+	}
+	return nil
+}
+
+// Run executes p on g: level-parallel, deterministic dispatch order,
+// fail-fast. The first stage error cancels the remaining stages and is
+// returned wrapped with the stage ID; ctx cancellation does the same.
+func (e *Executor) Run(ctx context.Context, p *Pipeline, g graph.Interface) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("pipeline: Run with nil Pipeline")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("pipeline: Run with nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var root *obs.Span
+	rec := e.rec
+	if rec != nil {
+		rec.Counter("pipeline.runs").Inc()
+		root = rec.Span("pipeline", obs.KV{K: "stages", V: int64(len(p.stages))}, obs.KV{K: "levels", V: int64(len(p.levels))})
+		defer root.End()
+		rec = rec.Under(root)
+	}
+
+	res := &Result{Order: p.Stages(), stages: make(map[string]*StageResult, len(p.stages))}
+	values := make(map[string]*value, len(p.stages))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex // guards values, res.stages, firstErr
+		firstErr error
+	)
+	for _, level := range p.levels {
+		// One level is a barrier: dispatch its stages in sorted-ID order
+		// through a bounded worker group, then wait before the next level.
+		sem := make(chan struct{}, levelWorkers(e.workers, len(level)))
+		var wg sync.WaitGroup
+		for _, id := range level {
+			n := p.stages[id]
+			mu.Lock()
+			ins := make([]*value, len(n.ins))
+			for i, from := range n.ins {
+				ins[i] = values[from]
+			}
+			abort := firstErr != nil
+			mu.Unlock()
+			if abort {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(n *node, ins []*value) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sr, v, err := e.runStage(ctx, rec, g, n, ins)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("pipeline: stage %s: %w", n.id, err)
+						cancel()
+					}
+					return
+				}
+				values[n.id] = v
+				res.stages[n.id] = sr
+				if sr.CacheHit {
+					res.CacheHits++
+				}
+			}(n, ins)
+		}
+		wg.Wait()
+		mu.Lock()
+		err := firstErr
+		mu.Unlock()
+		if err != nil {
+			if e.rec != nil {
+				e.rec.Counter("pipeline.errors").Inc()
+			}
+			return nil, err
+		}
+	}
+	res.ElapsedNs = time.Since(start).Nanoseconds()
+	if e.rec != nil {
+		e.rec.Histogram("pipeline.ns").Observe(res.ElapsedNs)
+	}
+	return res, nil
+}
+
+// runStage executes one stage with telemetry and observer reporting.
+func (e *Executor) runStage(ctx context.Context, rec *obs.Recorder, g graph.Interface, n *node, ins []*value) (*StageResult, *value, error) {
+	e.emit(StageEvent{Stage: n.id, Kind: n.st.Kind(), Level: n.level, Status: StageStart})
+	var span *obs.Span
+	if rec != nil {
+		rec.Counter("pipeline.stage.runs").Inc()
+		span = rec.Span("stage/"+n.id, obs.KV{K: "level", V: int64(n.level)})
+	}
+	start := time.Now()
+	v, hit, err := n.st.run(ctx, e, g, ins)
+	lat := time.Since(start).Nanoseconds()
+	if rec != nil {
+		rec.Histogram("pipeline.stage.ns").Observe(lat)
+		rec.Histogram("pipeline.stage." + n.id + ".ns").Observe(lat)
+		if hit {
+			rec.Counter("pipeline.stage.cachehits").Inc()
+		}
+		if err != nil {
+			rec.Counter("pipeline.stage.errors").Inc()
+		}
+		span.End()
+	}
+	if err != nil {
+		e.emit(StageEvent{Stage: n.id, Kind: n.st.Kind(), Level: n.level, Status: StageError, LatencyNs: lat, Err: err})
+		return nil, nil, err
+	}
+	e.emit(StageEvent{Stage: n.id, Kind: n.st.Kind(), Level: n.level, Status: StageDone, CacheHit: hit, LatencyNs: lat})
+	sr := &StageResult{
+		ID: n.id, Kind: n.st.Kind(), Level: n.level,
+		CacheHit: hit, LatencyNs: lat,
+		Graph: v.g, Partition: v.part, AppInput: v.in,
+		MIS: v.mis, Coloring: v.col, Matching: v.mat,
+		Spanner: v.span, Cover: v.cov,
+	}
+	return sr, v, nil
+}
+
+// emit delivers one observer event, serialized.
+func (e *Executor) emit(ev StageEvent) {
+	if e.observer == nil {
+		return
+	}
+	e.obsMu.Lock()
+	e.observer(ev)
+	e.obsMu.Unlock()
+}
+
+// levelWorkers sizes the per-level semaphore.
+func levelWorkers(cap, width int) int {
+	if cap <= 0 || cap > width {
+		if width < 1 {
+			return 1
+		}
+		return width
+	}
+	return cap
+}
+
+// sortStageDocs orders stage results by (level, id) — the helper the wire
+// layers use to render Result deterministically.
+func (r *Result) SortedStages() []*StageResult {
+	out := make([]*StageResult, 0, len(r.stages))
+	for _, sr := range r.stages {
+		out = append(out, sr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,280 @@
+// Package pipeline is the typed DAG orchestration layer over compiled
+// decomposition plans: the chains the paper's applications imply
+// (decompose → recolor → MIS, decompose → spanner, cover, ...) become one
+// validated pipeline instead of N hand-sequenced calls.
+//
+// A pipeline is built fluently and validated structurally at Build time —
+// unique stage IDs, edges between existing stages, acyclicity (Kahn's
+// algorithm), and *typed* data dependencies: every stage kind declares
+// what value kinds it consumes and produces, and an edge whose producer
+// cannot feed its consumer is a build error, not a runtime surprise.
+//
+//	p, err := pipeline.NewBuilder().
+//	    AddStage("dec", pipeline.Decompose(plan)).
+//	    AddStage("re", pipeline.Recolor()).
+//	    AddStage("mis", pipeline.MIS()).
+//	    AddStage("sp", pipeline.Spanner()).
+//	    AddEdge("dec", "re").
+//	    AddEdge("re", "mis").
+//	    AddEdge("dec", "sp").
+//	    Build()
+//	res, err := pipeline.Run(ctx, p, g, pipeline.WithSession(sess))
+//
+// The Executor runs stages level-parallel: all stages of one DAG level
+// execute concurrently under a worker cap, dispatched in sorted stage-ID
+// order so the execution schedule is deterministic, and results are
+// bit-identical for any worker count (stages only communicate through
+// their declared edges). Every decompose stage rides the serving session
+// when one is attached: a pipeline re-run after one upstream change is
+// served from the result cache everywhere the inputs are unchanged and
+// recomputes only the stages downstream of the change — cache hits
+// short-circuit whole subtrees. Per-stage spans and latency histograms
+// land in the attached telemetry recorder, and a stage-completion
+// observer streams progress as the DAG executes (the SSE feed of
+// POST /v1/pipeline/stream).
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"netdecomp/internal/apps"
+	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/spanner"
+)
+
+// Kind identifies the value type a stage produces — the type system of
+// the DAG's edges.
+type Kind int
+
+const (
+	// KindPartition is a decomposition result (*decomp.Partition).
+	KindPartition Kind = iota
+	// KindAppInput is a recolored application input (apps.Input).
+	KindAppInput
+	// KindMIS, KindColoring, KindMatching are the symmetry-breaking
+	// application results.
+	KindMIS
+	KindColoring
+	KindMatching
+	// KindSpanner is a sparse skeleton (*spanner.Spanner). Spanner values
+	// are graph-valued: a downstream decompose or cover stage consumes the
+	// skeleton graph.
+	KindSpanner
+	// KindCover is a neighborhood cover (*cover.Cover).
+	KindCover
+)
+
+// String returns the kind's stage-constructor name.
+func (k Kind) String() string {
+	switch k {
+	case KindPartition:
+		return "decompose"
+	case KindAppInput:
+		return "recolor"
+	case KindMIS:
+		return "mis"
+	case KindColoring:
+		return "coloring"
+	case KindMatching:
+		return "matching"
+	case KindSpanner:
+		return "spanner"
+	case KindCover:
+		return "cover"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// graphValued reports whether a value of this kind can feed a stage that
+// consumes a graph (decompose, cover).
+func (k Kind) graphValued() bool { return k == KindSpanner }
+
+// value is one stage's produced value plus the graph it is relative to —
+// the context a downstream stage needs (apps.FromPartition and
+// spanner.Build take the graph the partition was computed on; a spanner's
+// graph is the skeleton itself, so decompose-of-spanner chains compose).
+type value struct {
+	kind Kind
+	g    graph.Interface
+	part *decomp.Partition
+	in   *apps.Input
+	mis  *apps.MISResult
+	col  *apps.ColoringResult
+	mat  *apps.MatchingResult
+	span *spanner.Spanner
+	cov  *cover.Cover
+}
+
+// Stage is one DAG node: a compiled decomposition plan or a
+// derived-structure builder. The stage set is closed (the run method is
+// unexported); construct stages with Decompose, Recolor, MIS, Coloring,
+// Matching, Spanner and Cover.
+type Stage interface {
+	// Kind is the value kind the stage produces.
+	Kind() Kind
+	// arity is the accepted in-edge count range.
+	arity() (min, max int)
+	// accepts reports whether an upstream producing k can feed this stage.
+	accepts(k Kind) bool
+	// run executes the stage. g is the pipeline input graph; ins are the
+	// upstream values in sorted from-ID order. cacheHit reports the result
+	// was served from the session cache without executing.
+	run(ctx context.Context, ex *Executor, g graph.Interface, ins []*value) (v *value, cacheHit bool, err error)
+}
+
+// inputGraph resolves the graph a source-style stage (decompose, cover)
+// operates on: the single graph-valued upstream when one is wired, else
+// the pipeline input graph.
+func inputGraph(g graph.Interface, ins []*value) graph.Interface {
+	if len(ins) == 1 {
+		return ins[0].g
+	}
+	return g
+}
+
+// decomposeStage executes a compiled plan, through the executor's session
+// when one is attached.
+type decomposeStage struct{ pl *decomp.Plan }
+
+// Decompose returns a stage executing the compiled plan on its input
+// graph: the pipeline input, or the skeleton of an upstream spanner stage
+// (0 or 1 in-edges). With a session attached to the executor the stage is
+// served through the session cache — identical (graph, plan, seed)
+// triples short-circuit.
+func Decompose(pl *decomp.Plan) Stage { return &decomposeStage{pl: pl} }
+
+// Plan returns the stage's compiled plan (nil for non-decompose stages
+// handed to it). It is how codecs and executors introspect the stage.
+func (s *decomposeStage) Plan() *decomp.Plan { return s.pl }
+
+func (s *decomposeStage) Kind() Kind          { return KindPartition }
+func (s *decomposeStage) arity() (int, int)   { return 0, 1 }
+func (s *decomposeStage) accepts(k Kind) bool { return k.graphValued() }
+
+func (s *decomposeStage) run(ctx context.Context, ex *Executor, g graph.Interface, ins []*value) (*value, bool, error) {
+	in := inputGraph(g, ins)
+	if ex.sess != nil {
+		j := ex.sess.Submit(ctx, s.pl, in)
+		p, err := j.Wait()
+		if err != nil {
+			return nil, false, err
+		}
+		return &value{kind: KindPartition, g: in, part: p}, j.CacheHit(), nil
+	}
+	pl := s.pl
+	if ex.rec != nil && pl.Recorder() == nil {
+		pl = pl.WithRecorder(ex.rec)
+	}
+	p, err := pl.Run(ctx, in)
+	if err != nil {
+		return nil, false, err
+	}
+	return &value{kind: KindPartition, g: in, part: p}, false, nil
+}
+
+// recolorStage adapts a partition into an application input.
+type recolorStage struct{}
+
+// Recolor returns a stage adapting its upstream partition into an
+// application input (apps.FromPartition): member lists copied, and
+// partitions without a proper supergraph coloring (MPX) recolored
+// greedily. Exactly one partition-producing in-edge.
+func Recolor() Stage { return recolorStage{} }
+
+func (recolorStage) Kind() Kind          { return KindAppInput }
+func (recolorStage) arity() (int, int)   { return 1, 1 }
+func (recolorStage) accepts(k Kind) bool { return k == KindPartition }
+
+func (recolorStage) run(_ context.Context, _ *Executor, _ graph.Interface, ins []*value) (*value, bool, error) {
+	in, err := apps.FromPartition(ins[0].g, ins[0].part)
+	if err != nil {
+		return nil, false, err
+	}
+	return &value{kind: KindAppInput, g: ins[0].g, in: &in}, false, nil
+}
+
+// appStage runs one symmetry-breaking application on a recolored input.
+type appStage struct{ kind Kind }
+
+// MIS returns a stage computing a maximal independent set from its
+// upstream application input (exactly one recolor in-edge).
+func MIS() Stage { return appStage{kind: KindMIS} }
+
+// Coloring returns a stage computing a (Δ+1)-coloring from its upstream
+// application input.
+func Coloring() Stage { return appStage{kind: KindColoring} }
+
+// Matching returns a stage computing a maximal matching from its upstream
+// application input.
+func Matching() Stage { return appStage{kind: KindMatching} }
+
+func (s appStage) Kind() Kind        { return s.kind }
+func (appStage) arity() (int, int)   { return 1, 1 }
+func (appStage) accepts(k Kind) bool { return k == KindAppInput }
+
+func (s appStage) run(_ context.Context, _ *Executor, _ graph.Interface, ins []*value) (*value, bool, error) {
+	g, in := ins[0].g, *ins[0].in
+	v := &value{kind: s.kind, g: g}
+	var err error
+	switch s.kind {
+	case KindMIS:
+		v.mis, err = apps.MIS(g, in)
+	case KindColoring:
+		v.col, err = apps.Coloring(g, in)
+	default:
+		v.mat, err = apps.Matching(g, in)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return v, false, nil
+}
+
+// spannerStage builds a sparse skeleton from a partition.
+type spannerStage struct{}
+
+// Spanner returns a stage building the sparse skeleton of its upstream
+// partition (spanner.Build; the partition must be complete). The produced
+// value is graph-valued: a downstream decompose or cover stage runs on
+// the skeleton.
+func Spanner() Stage { return spannerStage{} }
+
+func (spannerStage) Kind() Kind          { return KindSpanner }
+func (spannerStage) arity() (int, int)   { return 1, 1 }
+func (spannerStage) accepts(k Kind) bool { return k == KindPartition }
+
+func (spannerStage) run(_ context.Context, _ *Executor, _ graph.Interface, ins []*value) (*value, bool, error) {
+	sp, err := spanner.Build(ins[0].g, ins[0].part)
+	if err != nil {
+		return nil, false, err
+	}
+	return &value{kind: KindSpanner, g: sp.G, span: sp}, false, nil
+}
+
+// coverStage builds a neighborhood cover of its input graph.
+type coverStage struct{ opts cover.Options }
+
+// Cover returns a stage building a W-neighborhood cover of its input
+// graph (the pipeline input, or an upstream spanner's skeleton; 0 or 1
+// in-edges). The stage's power-graph decomposition rides the executor's
+// session when one is attached — o.Session is overridden.
+func Cover(o cover.Options) Stage { return &coverStage{opts: o} }
+
+func (*coverStage) Kind() Kind          { return KindCover }
+func (*coverStage) arity() (int, int)   { return 0, 1 }
+func (*coverStage) accepts(k Kind) bool { return k.graphValued() }
+
+func (s *coverStage) run(ctx context.Context, ex *Executor, g graph.Interface, ins []*value) (*value, bool, error) {
+	in := inputGraph(g, ins)
+	o := s.opts
+	o.Session = ex.sess
+	c, err := cover.BuildContext(ctx, in, o)
+	if err != nil {
+		return nil, false, err
+	}
+	return &value{kind: KindCover, g: in, cov: c}, false, nil
+}

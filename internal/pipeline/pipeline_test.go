@@ -1,0 +1,513 @@
+package pipeline_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netdecomp/internal/apps"
+	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/pipeline"
+	"netdecomp/internal/session"
+	"netdecomp/internal/spanner"
+)
+
+// testGraph builds the deterministic test workload.
+func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.Build(gen.FamilyGnp, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// completePlan compiles a forced-complete elkin-neiman plan at seed.
+func completePlan(t testing.TB, seed uint64) *decomp.Plan {
+	t.Helper()
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(seed), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// fanoutPipeline wires the canonical chain the paper's applications imply:
+// decompose → recolor → {mis, coloring, matching} plus decompose →
+// spanner and an independent cover — 7 stages over 3 levels.
+func fanoutPipeline(t testing.TB, seed uint64) *pipeline.Pipeline {
+	t.Helper()
+	p, err := pipeline.NewBuilder().
+		AddStage("dec", pipeline.Decompose(completePlan(t, seed))).
+		AddStage("re", pipeline.Recolor()).
+		AddStage("mis", pipeline.MIS()).
+		AddStage("col", pipeline.Coloring()).
+		AddStage("mat", pipeline.Matching()).
+		AddStage("sp", pipeline.Spanner()).
+		AddStage("cov", pipeline.Cover(cover.Options{W: 1, Seed: seed})).
+		AddEdge("dec", "re").
+		AddEdge("re", "mis").
+		AddEdge("re", "col").
+		AddEdge("re", "mat").
+		AddEdge("dec", "sp").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBuilderValidation pins every structural check Build performs, and
+// that independent errors are reported together.
+func TestBuilderValidation(t *testing.T) {
+	pl := completePlan(t, 1)
+	cases := []struct {
+		name  string
+		build func() *pipeline.Builder
+		want  []string
+	}{
+		{"empty", func() *pipeline.Builder { return pipeline.NewBuilder() },
+			[]string{"no stages"}},
+		{"empty id", func() *pipeline.Builder {
+			return pipeline.NewBuilder().AddStage("", pipeline.Recolor())
+		}, []string{"empty id"}},
+		{"nil stage", func() *pipeline.Builder {
+			return pipeline.NewBuilder().AddStage("a", nil)
+		}, []string{`stage "a" is nil`}},
+		{"duplicate id", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddStage("a", pipeline.Decompose(pl))
+		}, []string{`duplicate stage id "a"`}},
+		{"unknown endpoints", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddEdge("a", "ghost").AddEdge("phantom", "a")
+		}, []string{`unknown stage "ghost"`, `unknown stage "phantom"`}},
+		{"self loop", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddEdge("a", "a")
+		}, []string{"self-loop"}},
+		{"duplicate edge", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddStage("b", pipeline.Recolor()).
+				AddEdge("a", "b").AddEdge("a", "b")
+		}, []string{"edge a->b: duplicate"}},
+		{"typed edge", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddStage("m", pipeline.MIS()).
+				AddEdge("a", "m")
+		}, []string{"mis stage cannot consume a decompose value"}},
+		{"missing in-edge", func() *pipeline.Builder {
+			return pipeline.NewBuilder().AddStage("re", pipeline.Recolor())
+		}, []string{"stage re (recolor): wants exactly one in-edge, has 0"}},
+		{"too many in-edges", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddStage("sp", pipeline.Spanner()).
+				AddStage("d2", pipeline.Decompose(pl)).
+				AddStage("d3", pipeline.Decompose(pl)).
+				AddStage("sp2", pipeline.Spanner()).
+				AddEdge("a", "sp").AddEdge("d3", "sp2").
+				AddEdge("sp", "d2").AddEdge("sp2", "d2")
+		}, []string{"stage d2 (decompose): wants at most 1 in-edges, has 2"}},
+		{"cycle", func() *pipeline.Builder {
+			return pipeline.NewBuilder().
+				AddStage("a", pipeline.Decompose(pl)).
+				AddStage("s1", pipeline.Spanner()).
+				AddStage("d1", pipeline.Decompose(pl)).
+				AddStage("s2", pipeline.Spanner()).
+				AddEdge("a", "s1").
+				AddEdge("s1", "d1").
+				AddEdge("d1", "s2").
+				AddEdge("s2", "d1")
+		}, []string{"cycle through stages [d1 s2]"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.build().Build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error mentioning %q", tc.want)
+			}
+			if p != nil {
+				t.Error("Build returned a pipeline alongside the error")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLevelsAndDownstream pins the Kahn level schedule and the reachable
+// set on the canonical fan-out DAG.
+func TestLevelsAndDownstream(t *testing.T) {
+	p := fanoutPipeline(t, 1)
+	wantLevels := [][]string{
+		{"cov", "dec"},
+		{"re", "sp"},
+		{"col", "mat", "mis"},
+	}
+	if got := p.Levels(); !reflect.DeepEqual(got, wantLevels) {
+		t.Errorf("Levels() = %v, want %v", got, wantLevels)
+	}
+	wantOrder := []string{"cov", "dec", "re", "sp", "col", "mat", "mis"}
+	if got := p.Stages(); !reflect.DeepEqual(got, wantOrder) {
+		t.Errorf("Stages() = %v, want %v", got, wantOrder)
+	}
+	wantDown := []string{"col", "mat", "mis", "re", "sp"}
+	if got := p.Downstream("dec"); !reflect.DeepEqual(got, wantDown) {
+		t.Errorf("Downstream(dec) = %v, want %v", got, wantDown)
+	}
+	if got := p.Downstream("mis"); len(got) != 0 {
+		t.Errorf("Downstream(mis) = %v, want empty", got)
+	}
+	if got := p.Inputs("re"); !reflect.DeepEqual(got, []string{"dec"}) {
+		t.Errorf("Inputs(re) = %v, want [dec]", got)
+	}
+}
+
+// TestPipelineMatchesHandWired is the e2e contract: the full fan-out
+// pipeline produces bit-identical results to the hand-sequenced calls it
+// replaces.
+func TestPipelineMatchesHandWired(t *testing.T) {
+	g := testGraph(t, 400, 1)
+	ctx := context.Background()
+	const seed = 7
+
+	// The hand-wired chain.
+	pl := completePlan(t, seed)
+	part, err := pl.Run(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.FromPartition(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMIS, err := apps.MIS(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCol, err := apps.Coloring(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMat, err := apps.Matching(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSp, err := spanner.Build(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCov, err := cover.BuildContext(ctx, g, cover.Options{W: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := pipeline.Run(ctx, fanoutPipeline(t, seed), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Partition("dec"), part) {
+		t.Error("dec: pipeline partition differs from hand-wired Plan.Run")
+	}
+	if got := *res.Stage("re").AppInput; !reflect.DeepEqual(got, in) {
+		t.Error("re: pipeline app input differs from apps.FromPartition")
+	}
+	if !reflect.DeepEqual(res.Stage("mis").MIS, wantMIS) {
+		t.Error("mis: pipeline result differs from apps.MIS")
+	}
+	if !reflect.DeepEqual(res.Stage("col").Coloring, wantCol) {
+		t.Error("col: pipeline result differs from apps.Coloring")
+	}
+	if !reflect.DeepEqual(res.Stage("mat").Matching, wantMat) {
+		t.Error("mat: pipeline result differs from apps.Matching")
+	}
+	gotSp := res.Stage("sp").Spanner
+	if gotSp.Edges != wantSp.Edges || graph.Fingerprint(gotSp.G) != graph.Fingerprint(wantSp.G) {
+		t.Error("sp: pipeline spanner differs from spanner.Build")
+	}
+	if !reflect.DeepEqual(res.Stage("cov").Cover, wantCov) {
+		t.Error("cov: pipeline cover differs from cover.BuildContext")
+	}
+	if want := []string{"cov", "dec", "re", "sp", "col", "mat", "mis"}; !reflect.DeepEqual(res.Order, want) {
+		t.Errorf("Order = %v, want %v", res.Order, want)
+	}
+}
+
+// stageDigest flattens a stage result's semantic content (no latencies,
+// no pointers) into a comparable value.
+func stageDigest(sr *pipeline.StageResult) string {
+	switch sr.Kind {
+	case pipeline.KindSpanner:
+		return fmt.Sprintf("spanner:%016x", graph.Fingerprint(sr.Spanner.G))
+	case pipeline.KindPartition:
+		data, _ := json.Marshal(sr.Partition)
+		return "partition:" + string(data)
+	case pipeline.KindAppInput:
+		return fmt.Sprintf("appinput:%+v", *sr.AppInput)
+	case pipeline.KindMIS:
+		return fmt.Sprintf("mis:%+v", *sr.MIS)
+	case pipeline.KindColoring:
+		return fmt.Sprintf("coloring:%+v", *sr.Coloring)
+	case pipeline.KindMatching:
+		return fmt.Sprintf("matching:%+v", *sr.Matching)
+	default:
+		return fmt.Sprintf("cover:%+v", *sr.Cover)
+	}
+}
+
+// TestDeterministicAcrossWorkers is the satellite-2 pin: the same pipeline
+// on the same graph yields bit-identical stage results for every worker
+// cap 1..8, with the identical execution order.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 300, 2)
+	ctx := context.Background()
+
+	var wantDigests map[string]string
+	var wantOrder []string
+	for workers := 1; workers <= 8; workers++ {
+		p := fanoutPipeline(t, 11)
+		res, err := pipeline.Run(ctx, p, g, pipeline.WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		digests := map[string]string{}
+		for _, sr := range res.SortedStages() {
+			digests[sr.ID] = stageDigest(sr)
+		}
+		if wantDigests == nil {
+			wantDigests, wantOrder = digests, res.Order
+			continue
+		}
+		if !reflect.DeepEqual(res.Order, wantOrder) {
+			t.Errorf("workers=%d: order %v differs from workers=1 order %v", workers, res.Order, wantOrder)
+		}
+		for id, want := range wantDigests {
+			if digests[id] != want {
+				t.Errorf("workers=%d: stage %s result differs from workers=1", workers, id)
+			}
+		}
+	}
+}
+
+// chainPipeline builds the decompose-of-spanner chain the cache property
+// test exercises: dec1 → sp1 → dec2 → sp2 → dec3, plus an independent
+// dec4. Changing dec1's seed changes sp1's skeleton fingerprint, forcing
+// dec2 and dec3 to recompute while dec4 stays cached.
+func chainPipeline(t testing.TB, seed1 uint64) *pipeline.Pipeline {
+	t.Helper()
+	p, err := pipeline.NewBuilder().
+		AddStage("dec1", pipeline.Decompose(completePlan(t, seed1))).
+		AddStage("sp1", pipeline.Spanner()).
+		AddStage("dec2", pipeline.Decompose(completePlan(t, 21))).
+		AddStage("sp2", pipeline.Spanner()).
+		AddStage("dec3", pipeline.Decompose(completePlan(t, 22))).
+		AddStage("dec4", pipeline.Decompose(completePlan(t, 23))).
+		AddEdge("dec1", "sp1").
+		AddEdge("sp1", "dec2").
+		AddEdge("dec2", "sp2").
+		AddEdge("sp2", "dec3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// resultDigests flattens a full run for bit-identity comparison.
+func resultDigests(res *pipeline.Result) map[string]string {
+	out := map[string]string{}
+	for _, sr := range res.SortedStages() {
+		out[sr.ID] = stageDigest(sr)
+	}
+	return out
+}
+
+// TestRerunRecomputesOnlyDownstream is the satellite-3 cache property: an
+// unchanged re-run serves every decompose stage from the session cache,
+// and a re-run after mutating one upstream stage's seed recomputes exactly
+// the decompose stages downstream of the change — asserted through
+// session.Stats hit/miss deltas — with results bit-identical to a
+// from-scratch execution on a fresh session.
+func TestRerunRecomputesOnlyDownstream(t *testing.T) {
+	g := testGraph(t, 300, 3)
+	ctx := context.Background()
+	sess := session.New()
+	defer sess.Close()
+
+	p := chainPipeline(t, 31)
+	res1, err := pipeline.Run(ctx, p, g, pipeline.WithSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/4", st.Hits, st.Misses)
+	}
+	if res1.CacheHits != 0 {
+		t.Fatalf("cold run: CacheHits=%d, want 0", res1.CacheHits)
+	}
+
+	// Unchanged re-run: every decompose stage is a cache hit (the spanner
+	// stages recompute deterministically, so the skeleton fingerprints —
+	// and with them dec2/dec3's cache keys — are unchanged).
+	res2, err := pipeline.Run(ctx, p, g, pipeline.WithSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.Misses != 4 || st.Hits != 4 {
+		t.Fatalf("warm re-run: hits=%d misses=%d, want 4/4", st.Hits, st.Misses)
+	}
+	if res2.CacheHits != 4 {
+		t.Fatalf("warm re-run: CacheHits=%d, want 4", res2.CacheHits)
+	}
+	for _, id := range []string{"dec1", "dec2", "dec3", "dec4"} {
+		if !res2.Stage(id).CacheHit {
+			t.Errorf("warm re-run: stage %s not served from cache", id)
+		}
+	}
+	if !reflect.DeepEqual(resultDigests(res2), resultDigests(res1)) {
+		t.Error("warm re-run results differ from cold run")
+	}
+
+	// Mutate dec1's seed: exactly dec1 plus the downstream decompose
+	// stages (dec2, dec3 — reachable through the spanner chain) recompute;
+	// the untouched dec4 is served from cache.
+	mutated := chainPipeline(t, 32)
+	down := mutated.Downstream("dec1")
+	if want := []string{"dec2", "dec3", "sp1", "sp2"}; !reflect.DeepEqual(down, want) {
+		t.Fatalf("Downstream(dec1) = %v, want %v", down, want)
+	}
+	res3, err := pipeline.Run(ctx, mutated, g, pipeline.WithSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.Misses != 7 || st.Hits != 5 {
+		t.Fatalf("mutated re-run: hits=%d misses=%d, want 5/7 (dec4 hit; dec1+2 downstream decomposes miss)", st.Hits, st.Misses)
+	}
+	if res3.CacheHits != 1 || !res3.Stage("dec4").CacheHit {
+		t.Errorf("mutated re-run: want exactly dec4 cached, got CacheHits=%d", res3.CacheHits)
+	}
+	if resultDigests(res3)["sp1"] == resultDigests(res1)["sp1"] {
+		t.Fatal("seed mutation did not change sp1's skeleton — the property test lost its lever")
+	}
+
+	// Bit-identity: the mutated run equals a from-scratch execution on a
+	// fresh session.
+	fresh := session.New()
+	defer fresh.Close()
+	scratch, err := pipeline.Run(ctx, chainPipeline(t, 32), g, pipeline.WithSession(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultDigests(res3), resultDigests(scratch)) {
+		t.Error("mutated re-run differs from from-scratch execution")
+	}
+}
+
+// TestObserverAndTelemetry pins the streaming observer contract (one
+// start and one done per stage, levels non-decreasing for starts) and the
+// recorder counters.
+func TestObserverAndTelemetry(t *testing.T) {
+	g := testGraph(t, 200, 4)
+	reg := obs.NewRegistry()
+	rec := obs.New(reg, nil)
+	sess := session.New()
+	defer sess.Close()
+
+	var events []pipeline.StageEvent
+	res, err := pipeline.Run(context.Background(), fanoutPipeline(t, 5), g,
+		pipeline.WithSession(sess),
+		pipeline.WithRecorder(rec),
+		pipeline.WithObserver(func(ev pipeline.StageEvent) { events = append(events, ev) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, dones := map[string]int{}, map[string]int{}
+	lastStartLevel := 0
+	for _, ev := range events {
+		switch ev.Status {
+		case pipeline.StageStart:
+			starts[ev.Stage]++
+			if ev.Level < lastStartLevel {
+				t.Errorf("start of %s at level %d after level %d started", ev.Stage, ev.Level, lastStartLevel)
+			}
+			lastStartLevel = ev.Level
+		case pipeline.StageDone:
+			dones[ev.Stage]++
+			if ev.LatencyNs <= 0 {
+				t.Errorf("done event for %s has no latency", ev.Stage)
+			}
+		default:
+			t.Errorf("unexpected error event for %s: %v", ev.Stage, ev.Err)
+		}
+	}
+	for _, id := range res.Order {
+		if starts[id] != 1 || dones[id] != 1 {
+			t.Errorf("stage %s: %d starts, %d dones, want 1/1", id, starts[id], dones[id])
+		}
+	}
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["pipeline.runs"] != 1 {
+		t.Errorf("pipeline.runs = %d, want 1", counters["pipeline.runs"])
+	}
+	if counters["pipeline.stage.runs"] != int64(len(res.Order)) {
+		t.Errorf("pipeline.stage.runs = %d, want %d", counters["pipeline.stage.runs"], len(res.Order))
+	}
+}
+
+// TestRunErrors pins the fail-fast contract: a failing stage aborts the
+// run with a stage-named error.
+func TestRunErrors(t *testing.T) {
+	g := testGraph(t, 100, 5)
+	ctx := context.Background()
+	if _, err := pipeline.Run(ctx, nil, g); err == nil {
+		t.Error("nil pipeline: want error")
+	}
+	p := fanoutPipeline(t, 1)
+	if _, err := pipeline.Run(ctx, p, nil); err == nil {
+		t.Error("nil graph: want error")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	sess := session.New()
+	defer sess.Close()
+	if _, err := pipeline.Run(cancelled, p, g, pipeline.WithSession(sess)); err == nil {
+		t.Error("cancelled context: want error")
+	}
+
+	// A cover stage with a negative radius fails validation at run time;
+	// the error names the stage.
+	bad, err := pipeline.NewBuilder().
+		AddStage("badcov", pipeline.Cover(cover.Options{W: -1})).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pipeline.Run(ctx, bad, g)
+	if err == nil || !strings.Contains(err.Error(), "stage badcov") {
+		t.Errorf("failing stage error = %v, want it to name stage badcov", err)
+	}
+}

@@ -1,0 +1,140 @@
+package pipeline
+
+// The wire form of a pipeline. A Spec is the JSON twin of a Builder
+// program: stages carry exactly one kind-selecting payload each, edges are
+// (from, to) pairs, and Build routes everything through the fluent
+// Builder, so the wire layer inherits every structural check (typed edges,
+// arity, acyclicity) instead of duplicating them. Malformed documents are
+// errors, never panics — the decoder is fuzzed (FuzzSpec).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"netdecomp/internal/cover"
+	"netdecomp/internal/decomp"
+)
+
+// Spec is the JSON form of a pipeline: the body of POST /v1/pipeline and
+// the document cmd/netdecomp -pipeline executes.
+type Spec struct {
+	Stages []StageSpec `json:"stages"`
+	Edges  []EdgeSpec  `json:"edges,omitempty"`
+}
+
+// StageSpec declares one stage: an ID plus exactly one kind payload.
+// Recolor/MIS/Coloring/Matching/Spanner take no parameters — their
+// presence (any value, e.g. {}) selects the kind.
+type StageSpec struct {
+	ID string `json:"id"`
+
+	Decompose *decomp.PlanSpec `json:"decompose,omitempty"`
+	Recolor   *struct{}        `json:"recolor,omitempty"`
+	MIS       *struct{}        `json:"mis,omitempty"`
+	Coloring  *struct{}        `json:"coloring,omitempty"`
+	Matching  *struct{}        `json:"matching,omitempty"`
+	Spanner   *struct{}        `json:"spanner,omitempty"`
+	Cover     *CoverSpec       `json:"cover,omitempty"`
+}
+
+// CoverSpec is the JSON form of a cover stage's options (cover.Options
+// minus Session, which the executor threads).
+type CoverSpec struct {
+	W         int     `json:"w"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	K         int     `json:"k,omitempty"`
+	C         float64 `json:"c,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+}
+
+// Options resolves the spec into cover build options.
+func (sp CoverSpec) Options() cover.Options {
+	return cover.Options{
+		W:         sp.W,
+		Algorithm: sp.Algorithm,
+		K:         sp.K,
+		C:         sp.C,
+		Seed:      sp.Seed,
+	}
+}
+
+// EdgeSpec is one typed dependency: To consumes From's value.
+type EdgeSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// stage resolves the spec's payload into a Stage, enforcing exactly one
+// kind per stage.
+func (sp StageSpec) stage() (Stage, error) {
+	var (
+		st Stage
+		n  int
+	)
+	set := func(s Stage) {
+		st = s
+		n++
+	}
+	if sp.Decompose != nil {
+		pl, err := sp.Decompose.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("stage %q: %w", sp.ID, err)
+		}
+		set(Decompose(pl))
+	}
+	if sp.Recolor != nil {
+		set(Recolor())
+	}
+	if sp.MIS != nil {
+		set(MIS())
+	}
+	if sp.Coloring != nil {
+		set(Coloring())
+	}
+	if sp.Matching != nil {
+		set(Matching())
+	}
+	if sp.Spanner != nil {
+		set(Spanner())
+	}
+	if sp.Cover != nil {
+		set(Cover(sp.Cover.Options()))
+	}
+	switch n {
+	case 1:
+		return st, nil
+	case 0:
+		return nil, fmt.Errorf("stage %q: no kind set (want one of decompose, recolor, mis, coloring, matching, spanner, cover)", sp.ID)
+	default:
+		return nil, fmt.Errorf("stage %q: %d kinds set, want exactly one", sp.ID, n)
+	}
+}
+
+// Build validates the spec and compiles it into an executable Pipeline.
+func (s Spec) Build() (*Pipeline, error) {
+	b := NewBuilder()
+	for _, sp := range s.Stages {
+		st, err := sp.stage()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: invalid: %w", err)
+		}
+		b.AddStage(sp.ID, st)
+	}
+	for _, e := range s.Edges {
+		b.AddEdge(e.From, e.To)
+	}
+	return b.Build()
+}
+
+// ParseSpec decodes a JSON pipeline document strictly (unknown fields are
+// errors) and returns the spec. It never panics on malformed input.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("pipeline spec: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,128 @@
+package pipeline_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netdecomp/internal/pipeline"
+	"netdecomp/internal/session"
+)
+
+// specDoc is the canonical JSON pipeline the wire tests execute — the
+// same decompose → recolor → {mis} + decompose → spanner + cover fan-out
+// as fanoutPipeline, expressed as a Spec document.
+const specDoc = `{
+  "stages": [
+    {"id": "dec", "decompose": {"algorithm": "elkin-neiman", "seed": 7, "forceComplete": true}},
+    {"id": "re", "recolor": {}},
+    {"id": "mis", "mis": {}},
+    {"id": "col", "coloring": {}},
+    {"id": "mat", "matching": {}},
+    {"id": "sp", "spanner": {}},
+    {"id": "cov", "cover": {"w": 1, "seed": 7}}
+  ],
+  "edges": [
+    {"from": "dec", "to": "re"},
+    {"from": "re", "to": "mis"},
+    {"from": "re", "to": "col"},
+    {"from": "re", "to": "mat"},
+    {"from": "dec", "to": "sp"}
+  ]
+}`
+
+// TestSpecMatchesBuilder is the codec contract: a JSON Spec builds the
+// same DAG as the fluent Builder and executes to bit-identical results.
+func TestSpecMatchesBuilder(t *testing.T) {
+	g := testGraph(t, 300, 6)
+	ctx := context.Background()
+
+	s, err := pipeline.ParseSpec([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBuilder := fanoutPipeline(t, 7)
+	if !reflect.DeepEqual(fromSpec.Levels(), fromBuilder.Levels()) {
+		t.Errorf("spec levels %v differ from builder levels %v", fromSpec.Levels(), fromBuilder.Levels())
+	}
+
+	sess := session.New()
+	defer sess.Close()
+	resSpec, err := pipeline.Run(ctx, fromSpec, g, pipeline.WithSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBuilder, err := pipeline.Run(ctx, fromBuilder, g, pipeline.WithSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultDigests(resSpec), resultDigests(resBuilder)) {
+		t.Error("spec-built pipeline results differ from builder-built results")
+	}
+	// The two pipelines share plans and graph, so the second run's
+	// decompose stage is a session cache hit — the dedup the wire layer
+	// inherits for free.
+	if !resBuilder.Stage("dec").CacheHit {
+		t.Error("builder run after spec run: dec was not a cache hit")
+	}
+}
+
+// TestSpecErrors pins the decode/validate failure modes: all errors, no
+// panics.
+func TestSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad json", `{"stages": [`, "pipeline spec:"},
+		{"unknown field", `{"stages": [], "bogus": 1}`, "unknown field"},
+		{"no kind", `{"stages": [{"id": "a"}]}`, `stage "a": no kind set`},
+		{"two kinds", `{"stages": [{"id": "a", "recolor": {}, "mis": {}}]}`, `stage "a": 2 kinds set`},
+		{"bad algorithm", `{"stages": [{"id": "a", "decompose": {"algorithm": "nope"}}]}`, `stage "a"`},
+		{"missing algorithm", `{"stages": [{"id": "a", "decompose": {}}]}`, "algorithm is required"},
+		{"structural", `{"stages": [{"id": "a", "recolor": {}}]}`, "wants exactly one in-edge"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := pipeline.ParseSpec([]byte(tc.doc))
+			if err == nil {
+				_, err = s.Build()
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got success", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzSpec is the satellite-3 decoder fuzz target: arbitrary bytes
+// through ParseSpec and Build must return errors, never panic.
+func FuzzSpec(f *testing.F) {
+	f.Add([]byte(specDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"stages": []}`))
+	f.Add([]byte(`{"stages": [{"id": "a", "decompose": {"algorithm": "mpx"}}]}`))
+	f.Add([]byte(`{"stages": [{"id": "a", "cover": {"w": -5}}], "edges": [{"from": "a", "to": "a"}]}`))
+	f.Add([]byte(`{"stages": [{"id": "", "spanner": {}}], "edges": [{"from": "x"}]}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0xff, 0xfe, '{'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := pipeline.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// A decoded spec must validate without panicking; both outcomes of
+		// Build are acceptable.
+		_, _ = s.Build()
+	})
+}

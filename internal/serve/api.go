@@ -81,44 +81,11 @@ type GraphInfo struct {
 }
 
 // PlanSpec is the JSON form of a decomposition configuration — the
-// compile-time half of a decompose request. Zero-valued fields select each
-// algorithm's documented default, exactly like the CLI flags.
-type PlanSpec struct {
-	Algorithm     string  `json:"algorithm"`
-	K             int     `json:"k,omitempty"`
-	Lambda        int     `json:"lambda,omitempty"`
-	C             float64 `json:"c,omitempty"`
-	Beta          float64 `json:"beta,omitempty"`
-	Seed          uint64  `json:"seed,omitempty"`
-	ForceComplete bool    `json:"forceComplete,omitempty"`
-	PhaseBudget   int     `json:"phaseBudget,omitempty"`
-	ExactRadius   bool    `json:"exactRadius,omitempty"`
-	Engine        bool    `json:"engine,omitempty"`
-	Parallel      bool    `json:"parallel,omitempty"`
-	Workers       int     `json:"workers,omitempty"`
-}
-
+// compile-time half of a decompose request, owned by internal/decomp so
+// the pipeline spec codec shares the same wire form. Zero-valued fields
+// select each algorithm's documented default, exactly like the CLI flags;
 // Compile resolves the spec into an immutable decomp.Plan.
-func (sp PlanSpec) Compile() (*decomp.Plan, error) {
-	if sp.Algorithm == "" {
-		return nil, fmt.Errorf("plan spec: algorithm is required (known: %v)", decomp.Names())
-	}
-	// The spec mirrors decomp.Config one-for-one, so it compiles through
-	// WithConfig verbatim — no option-by-option translation to drift.
-	return decomp.Compile(sp.Algorithm, decomp.WithConfig(decomp.Config{
-		Seed:          sp.Seed,
-		K:             sp.K,
-		Lambda:        sp.Lambda,
-		C:             sp.C,
-		Beta:          sp.Beta,
-		ForceComplete: sp.ForceComplete,
-		PhaseBudget:   sp.PhaseBudget,
-		ExactRadius:   sp.ExactRadius,
-		Engine:        sp.Engine,
-		Parallel:      sp.Parallel,
-		Workers:       sp.Workers,
-	}))
-}
+type PlanSpec = decomp.PlanSpec
 
 // PlanInfo is the API view of one compiled plan.
 type PlanInfo struct {
@@ -155,6 +122,9 @@ type DecomposeResponse struct {
 	CacheHit bool `json:"cacheHit"`
 	// LatencyNs is the request's server-side service time.
 	LatencyNs int64 `json:"latencyNs"`
+	// DroppedRounds is the number of round events this stream dropped on a
+	// slow client (streaming endpoint only; always 0 synchronously).
+	DroppedRounds int64 `json:"droppedRounds,omitempty"`
 	// Partition is the decomposition (stable field order; see
 	// internal/decomp/json.go).
 	Partition *decomp.Partition `json:"partition"`
@@ -167,8 +137,20 @@ type StatsResponse struct {
 	// Graphs and Plans count the registered entries.
 	Graphs int `json:"graphs"`
 	Plans  int `json:"plans"`
+	// SSE reports the streaming subsystem's lifetime counters.
+	SSE SSEInfo `json:"sse"`
 	// Store describes the persistent result store (nil when disabled).
 	Store *StoreInfo `json:"store,omitempty"`
+}
+
+// SSEInfo reports the server-sent-events subsystem: total streams served
+// and events dropped on slow clients (rounds on decompose streams, stage
+// events on pipeline streams). Per-stream drop counts additionally ride
+// each stream's terminal result event.
+type SSEInfo struct {
+	Clients       int64 `json:"clients"`
+	DroppedRounds int64 `json:"droppedRounds"`
+	DroppedEvents int64 `json:"droppedEvents"`
 }
 
 // StoreInfo reports the persistence state.

@@ -23,7 +23,9 @@
 //	GET  /v1/plans/{key}          one plan's metadata
 //	POST /v1/decompose            execute (or serve cached); JSON result
 //	POST /v1/decompose/stream     same, streaming round stats over SSE
-//	GET  /v1/stats                session counters + store state
+//	POST /v1/pipeline             execute a typed stage DAG (internal/pipeline)
+//	POST /v1/pipeline/stream      same, streaming per-stage events over SSE
+//	GET  /v1/stats                session counters + SSE + store state
 //	POST /v1/store/flush          force a snapshot now
 //	GET  /metrics                 Prometheus text (plus /debug/vars, /debug/pprof/)
 package serve
@@ -88,12 +90,14 @@ type Server struct {
 	store *persister // nil when persistence is disabled
 	mux   *http.ServeMux
 
-	cRequests   *obs.Counter
-	cErrors     *obs.Counter
-	cSSEClients *obs.Counter
-	cSSEDropped *obs.Counter
-	hRequest    *obs.Histogram
-	hDecompose  *obs.Histogram
+	cRequests         *obs.Counter
+	cErrors           *obs.Counter
+	cSSEClients       *obs.Counter
+	cSSEDropped       *obs.Counter
+	cSSEDroppedEvents *obs.Counter
+	hRequest          *obs.Histogram
+	hDecompose        *obs.Histogram
+	hPipeline         *obs.Histogram
 
 	closeOnce sync.Once
 	closeErr  error
@@ -130,8 +134,10 @@ func New(opts Options) *Server {
 	s.cErrors = rec.Counter("serve.errors")
 	s.cSSEClients = rec.Counter("serve.sse.clients")
 	s.cSSEDropped = rec.Counter("serve.sse.dropped_rounds")
+	s.cSSEDroppedEvents = rec.Counter("serve.sse.dropped_events")
 	s.hRequest = rec.Histogram("serve.request.ns")
 	s.hDecompose = rec.Histogram("serve.decompose.ns")
+	s.hPipeline = rec.Histogram("serve.pipeline.ns")
 	if opts.StorePath != "" {
 		s.store = newPersister(s, opts.StorePath, opts.FlushInterval)
 		s.store.recover()
@@ -185,6 +191,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/plans/{key}", s.instrument(s.handleGetPlan))
 	mux.HandleFunc("POST /v1/decompose", s.instrument(s.handleDecompose))
 	mux.HandleFunc("POST /v1/decompose/stream", s.instrument(s.handleDecomposeStream))
+	mux.HandleFunc("POST /v1/pipeline", s.instrument(s.handlePipeline))
+	mux.HandleFunc("POST /v1/pipeline/stream", s.instrument(s.handlePipelineStream))
 	mux.HandleFunc("GET /v1/stats", s.instrument(s.handleStats))
 	mux.HandleFunc("POST /v1/store/flush", s.instrument(s.handleStoreFlush))
 	MountDebug(mux, s.rec.Registry())
@@ -422,7 +430,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	ngraphs, nplans := len(s.graphs), len(s.plans)
 	s.mu.RUnlock()
-	resp := StatsResponse{Session: s.sess.Stats(), Graphs: ngraphs, Plans: nplans}
+	resp := StatsResponse{
+		Session: s.sess.Stats(),
+		Graphs:  ngraphs,
+		Plans:   nplans,
+		SSE: SSEInfo{
+			Clients:       s.cSSEClients.Value(),
+			DroppedRounds: s.cSSEDropped.Value(),
+			DroppedEvents: s.cSSEDroppedEvents.Value(),
+		},
+	}
 	if s.store != nil {
 		resp.Store = s.store.info()
 	}

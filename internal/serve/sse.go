@@ -24,15 +24,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"netdecomp/internal/dist"
 )
 
-// sseRoundBuffer is the per-client round backlog. One event per round
-// means a few thousand slots cover every workload in the repo; past that
-// the client is too slow and rounds drop.
-const sseRoundBuffer = 4096
+// sseEventBuffer is the per-client event backlog shared by the decompose
+// (one event per round) and pipeline (two events per stage) streams. A
+// few thousand slots cover every workload in the repo; past that the
+// client is too slow and events drop. A variable so overflow tests can
+// shrink it.
+var sseEventBuffer = 4096
 
 // roundEvent is the SSE round payload (stable lower-case field order).
 type roundEvent struct {
@@ -71,11 +74,13 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 	// never closed — a deduplicated execution may keep emitting after this
 	// waiter resolved, and a send on a closed channel would panic into the
 	// (panic-isolated, but still counted) observer quarantine.
-	rounds := make(chan dist.RoundStats, sseRoundBuffer)
+	rounds := make(chan dist.RoundStats, sseEventBuffer)
+	var dropped atomic.Int64
 	observer := func(rs dist.RoundStats) {
 		select {
 		case rounds <- rs:
 		default:
+			dropped.Add(1)
 			s.cSSEDropped.Inc()
 		}
 	}
@@ -112,13 +117,14 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 	lat := time.Since(start)
 	s.hDecompose.Observe(lat.Nanoseconds())
 	writeSSE(w, "result", DecomposeResponse{
-		Graph:     keyString(j.Key().Graph),
-		Plan:      keyString(j.Key().Plan),
-		Seed:      j.Key().Seed,
-		Algorithm: pl.Name(),
-		CacheHit:  j.CacheHit(),
-		LatencyNs: lat.Nanoseconds(),
-		Partition: p,
+		Graph:         keyString(j.Key().Graph),
+		Plan:          keyString(j.Key().Plan),
+		Seed:          j.Key().Seed,
+		Algorithm:     pl.Name(),
+		CacheHit:      j.CacheHit(),
+		LatencyNs:     lat.Nanoseconds(),
+		DroppedRounds: dropped.Load(),
+		Partition:     p,
 	})
 	flusher.Flush()
 }

@@ -1,0 +1,142 @@
+package netdecomp
+
+import (
+	"context"
+
+	"netdecomp/internal/graph"
+	"netdecomp/internal/pipeline"
+)
+
+// The pipeline orchestration API: compose compiled Plans and
+// derived-structure builders into a validated, typed stage DAG and
+// execute it level-parallel through a Session.
+//
+//	pl, _ := netdecomp.Compile("elkin-neiman", netdecomp.WithForceComplete())
+//	p, err := netdecomp.NewPipeline().
+//	    AddStage("dec", netdecomp.DecomposeStage(pl)).
+//	    AddStage("re", netdecomp.RecolorStage()).
+//	    AddStage("mis", netdecomp.MISStage()).
+//	    AddStage("sp", netdecomp.SpannerStage()).
+//	    AddEdge("dec", "re").
+//	    AddEdge("re", "mis").
+//	    AddEdge("dec", "sp").
+//	    Build()
+//	res, err := netdecomp.RunPipeline(ctx, p, g, netdecomp.PipelineSession(s))
+//	mis := res.Stage("mis").MIS
+//
+// Edges are typed data dependencies (a recolor stage consumes exactly one
+// partition; a spanner's skeleton is graph-valued and can feed another
+// decompose), cycles and arity violations are Build errors, and execution
+// is deterministic: stages dispatch in sorted-ID order per DAG level, so
+// results are bit-identical for any worker count. With a session
+// attached, every decompose stage rides its cache — re-running after one
+// upstream change recomputes only the stages downstream of it. See
+// internal/pipeline for the full semantics.
+
+// PipelineBuilder accumulates stages and edges fluently; Build validates
+// the DAG (typed edges, arity, acyclicity) and freezes it.
+type PipelineBuilder = pipeline.Builder
+
+// Pipeline is a validated, immutable stage DAG, safe for concurrent Runs.
+type Pipeline = pipeline.Pipeline
+
+// PipelineStage is one DAG node. The stage set is closed; construct with
+// DecomposeStage, RecolorStage, MISStage, ColoringStage, MatchingStage,
+// SpannerStage and CoverStage.
+type PipelineStage = pipeline.Stage
+
+// PipelineSpec is the JSON wire form of a pipeline (the POST /v1/pipeline
+// document); ParsePipelineSpec decodes one and Spec.Build compiles it.
+type PipelineSpec = pipeline.Spec
+
+// PipelineResult is one execution's outcome: per-stage typed results,
+// cache-hit counts and the deterministic execution order.
+type PipelineResult = pipeline.Result
+
+// PipelineStageResult is one completed stage's outcome.
+type PipelineStageResult = pipeline.StageResult
+
+// PipelineStageEvent is one streamed stage lifecycle record (see
+// PipelineObserver).
+type PipelineStageEvent = pipeline.StageEvent
+
+// StageStatus is the lifecycle phase a PipelineStageEvent reports.
+type StageStatus = pipeline.StageStatus
+
+// Stage lifecycle phases.
+const (
+	StageStart StageStatus = pipeline.StageStart
+	StageDone  StageStatus = pipeline.StageDone
+	StageError StageStatus = pipeline.StageError
+)
+
+// PipelineExecutor runs pipelines; build one with NewPipelineExecutor to
+// reuse options across runs, or use RunPipeline for one-shot execution.
+type PipelineExecutor = pipeline.Executor
+
+// PipelineOption configures pipeline execution.
+type PipelineOption = pipeline.ExecOption
+
+// NewPipeline returns an empty fluent pipeline builder.
+func NewPipeline() *PipelineBuilder { return pipeline.NewBuilder() }
+
+// ParsePipelineSpec decodes a JSON pipeline document (strict: unknown
+// fields are errors).
+func ParsePipelineSpec(data []byte) (PipelineSpec, error) { return pipeline.ParseSpec(data) }
+
+// NewPipelineExecutor builds a reusable executor from the options.
+func NewPipelineExecutor(opts ...PipelineOption) *PipelineExecutor {
+	return pipeline.NewExecutor(opts...)
+}
+
+// RunPipeline executes p on g with a one-shot executor.
+func RunPipeline(ctx context.Context, p *Pipeline, g graph.Interface, opts ...PipelineOption) (*PipelineResult, error) {
+	return pipeline.Run(ctx, p, g, opts...)
+}
+
+// PipelineSession threads a Session through execution: decompose stages
+// (and cover stages' power-graph decompositions) are served through its
+// cache and singleflight.
+func PipelineSession(s *Session) PipelineOption { return pipeline.WithSession(s) }
+
+// PipelineWorkers caps concurrently executing stages (0 = level width).
+func PipelineWorkers(n int) PipelineOption { return pipeline.WithWorkers(n) }
+
+// PipelineRecorder attaches a telemetry recorder: per-stage spans,
+// latency histograms and cache-hit counters under the pipeline.* names.
+func PipelineRecorder(rec *Recorder) PipelineOption { return pipeline.WithRecorder(rec) }
+
+// PipelineObserver streams stage start/done/error events as the DAG
+// executes (calls are serialized; fn must not block).
+func PipelineObserver(fn func(PipelineStageEvent)) PipelineOption {
+	return pipeline.WithObserver(fn)
+}
+
+// DecomposeStage returns a stage executing a compiled Plan on the
+// pipeline input graph or an upstream spanner's skeleton (0 or 1
+// in-edges).
+func DecomposeStage(pl *Plan) PipelineStage { return pipeline.Decompose(pl) }
+
+// RecolorStage adapts an upstream partition into an application input
+// (exactly 1 in-edge).
+func RecolorStage() PipelineStage { return pipeline.Recolor() }
+
+// MISStage computes a maximal independent set from an upstream recolor
+// stage.
+func MISStage() PipelineStage { return pipeline.MIS() }
+
+// ColoringStage computes a (Δ+1)-coloring from an upstream recolor stage.
+func ColoringStage() PipelineStage { return pipeline.Coloring() }
+
+// MatchingStage computes a maximal matching from an upstream recolor
+// stage.
+func MatchingStage() PipelineStage { return pipeline.Matching() }
+
+// SpannerStage builds the sparse skeleton of an upstream partition; its
+// graph-valued result can feed a downstream decompose or cover stage.
+func SpannerStage() PipelineStage { return pipeline.Spanner() }
+
+// CoverStage builds a W-neighborhood cover of its input graph (pipeline
+// input or upstream spanner skeleton; 0 or 1 in-edges). The options
+// Session field is overridden by the executor's session.
+func CoverStage(o CoverOptions) PipelineStage { return pipeline.Cover(o) }
