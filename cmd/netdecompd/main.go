@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"netdecomp/internal/resilience"
 	"netdecomp/internal/serve"
 )
 
@@ -66,6 +67,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	flushInterval := fs.Duration("flush-interval", time.Minute, "periodic snapshot cadence with -store (0 = flush only on shutdown and /v1/store/flush)")
 	workers := fs.Int("workers", 0, "session worker pool size (0 = GOMAXPROCS)")
 	cache := fs.Int("cache", 0, "completed-result LRU capacity (0 = session default)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget: how long in-flight requests may finish after SIGTERM")
+	defaultDeadline := fs.Duration("default-deadline", 0, "server-side budget applied to requests that ask for none (0 = unlimited)")
+	maxDeadline := fs.Duration("max-deadline", 0, "hard cap on any requested per-request budget (0 = uncapped)")
+	admitDecompose := fs.Int("admit-decompose", 0, "concurrent decompose admissions (0 = unlimited)")
+	admitPipeline := fs.Int("admit-pipeline", 0, "concurrent pipeline admissions (0 = unlimited)")
+	admitRegister := fs.Int("admit-register", 0, "concurrent graph/plan registration admissions (0 = unlimited)")
+	admitQueue := fs.Int("admit-queue", 0, "bounded FIFO wait queue depth per admission gate (0 = reject when busy)")
+	shedWatermark := fs.Int("shed-watermark", 0, "heavy in-flight count past which cold-miss work is shed with 429 (0 = never)")
+	chaos := fs.Bool("chaos", false, "run the deterministic chaos harness against an in-process daemon instead of serving")
+	chaosDuration := fs.Duration("chaos-duration", 5*time.Second, "with -chaos: fault episode length")
+	chaosSeed := fs.Uint64("chaos-seed", 42, "with -chaos: injector PRNG seed")
+	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "with -chaos: injected latency spike size")
+	chaosLatencyRate := fs.Float64("chaos-latency-rate", 1.0, "with -chaos: fraction of executions hit by a latency spike")
+	chaosErrorRate := fs.Float64("chaos-error-rate", 0.10, "with -chaos: fraction of executions failed with an injected error")
+	chaosPanicRate := fs.Float64("chaos-panic-rate", 0.10, "with -chaos: fraction of executions killed by an injected panic")
+	chaosFlushErrorRate := fs.Float64("chaos-flush-error-rate", 0.10, "with -chaos: fraction of snapshot writes failed")
 	loadgen := fs.String("loadgen", "", "run as a load generator against this base URL instead of serving")
 	clients := fs.Int("clients", 8, "with -loadgen: concurrent clients")
 	requests := fs.Int("requests", 256, "with -loadgen: total request count")
@@ -91,20 +108,45 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			Seed:          *lgSeed,
 		})
 	}
-	return runServer(ctx, w, serve.Options{
+	opts := serve.Options{
 		Workers:       *workers,
 		CacheSize:     *cache,
 		StorePath:     *store,
 		FlushInterval: *flushInterval,
+		Resilience: resilience.Options{
+			Decompose:     resilience.GateConfig{Slots: *admitDecompose, Queue: *admitQueue},
+			Pipeline:      resilience.GateConfig{Slots: *admitPipeline, Queue: *admitQueue},
+			Register:      resilience.GateConfig{Slots: *admitRegister, Queue: *admitQueue},
+			ShedWatermark: *shedWatermark,
+			Deadline:      resilience.DeadlinePolicy{Default: *defaultDeadline, Max: *maxDeadline},
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
-	}, *addr)
+	}
+	if *chaos {
+		return runChaos(ctx, w, opts, chaosConfig{
+			duration: *chaosDuration,
+			drain:    *drainTimeout,
+			inject: resilience.InjectorConfig{
+				Seed:           *chaosSeed,
+				Latency:        *chaosLatency,
+				LatencyRate:    *chaosLatencyRate,
+				ErrorRate:      *chaosErrorRate,
+				PanicRate:      *chaosPanicRate,
+				FlushErrorRate: *chaosFlushErrorRate,
+			},
+		})
+	}
+	return runServer(ctx, w, opts, *addr, *drainTimeout)
 }
 
 // runServer boots the daemon and serves until the context is cancelled or
-// a SIGINT/SIGTERM arrives; shutdown flushes the store before exit.
-func runServer(ctx context.Context, w io.Writer, opts serve.Options, addr string) error {
+// a SIGINT/SIGTERM arrives. Shutdown is a graceful drain: /readyz flips
+// to 503 and admissions stop immediately, in-flight requests get up to
+// drainTimeout to finish (the completed-vs-abandoned split is logged),
+// and the final store flush rides Close.
+func runServer(ctx context.Context, w io.Writer, opts serve.Options, addr string, drainTimeout time.Duration) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -127,8 +169,15 @@ func runServer(ctx context.Context, w io.Writer, opts serve.Options, addr string
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintf(w, "netdecompd: shutting down\n")
-		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(w, "netdecompd: shutting down: draining for up to %v\n", drainTimeout)
+		completed, abandoned := s.Drain(drainTimeout)
+		fmt.Fprintf(w, "netdecompd: drained: %d in-flight completed, %d abandoned\n", completed, abandoned)
+		if abandoned == 0 {
+			fmt.Fprintf(w, "netdecompd: clean drain\n")
+		}
+		// The HTTP layer follows the application drain; its budget only
+		// covers connection teardown, so keep it short.
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shCtx)
 		return s.Close() // final store flush rides Close

@@ -203,6 +203,104 @@ func TestDaemonLoadgenMode(t *testing.T) {
 	}
 }
 
+// TestDaemonDrainAccounting pins the graceful-shutdown path: SIGTERM (via
+// context cancel) drains within -drain-timeout and logs the completed/
+// abandoned split plus the clean-drain marker the CI smoke job greps.
+func TestDaemonDrainAccounting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	lw := newLineWriter()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "2s"}, lw)
+	}()
+	var base string
+	for base == "" {
+		select {
+		case line := <-lw.lines:
+			if strings.Contains(line, "serving http://") {
+				base = strings.Fields(line[strings.Index(line, "http://"):])[0]
+			}
+		case err := <-errCh:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never printed its address")
+		}
+	}
+	// /readyz serves while healthy.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	lw.mu.Lock()
+	out := lw.buf.String()
+	lw.mu.Unlock()
+	for _, want := range []string{"draining for up to 2s", "drained: 0 in-flight completed, 0 abandoned", "clean drain"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shutdown log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDaemonDefaultDeadline pins the -default-deadline flag end to end: a
+// cold decompose whose budget cannot fit answers 504. The 1ns budget is
+// expired before the execution's first context check, so the outcome
+// does not race the decomposition speed.
+func TestDaemonDefaultDeadline(t *testing.T) {
+	base, shutdown := startDaemon(t, "-default-deadline", "1ns")
+	defer shutdown()
+	var gi struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	postJSON(t, base+"/v1/graphs", map[string]any{"family": "gnp", "n": 4096, "seed": 5}, &gi)
+	var pi struct {
+		Plan string `json:"plan"`
+	}
+	postJSON(t, base+"/v1/plans", map[string]any{"algorithm": "elkin-neiman", "forceComplete": true}, &pi)
+	body, _ := json.Marshal(map[string]any{"graph": gi.Fingerprint, "plan": pi.Plan})
+	resp, err := http.Post(base+"/v1/decompose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("cold decompose under 1ms budget: status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestDaemonChaosSmoke runs a short chaos episode through the real entry
+// point and checks the harness converges: zero violations, verified
+// snapshot, clean drain.
+func TestDaemonChaosSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-chaos",
+		"-chaos-duration", "700ms",
+		"-chaos-latency", "10ms",
+		"-store", filepath.Join(t.TempDir(), "chaos.snap"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"violations: 0", "snapshot verified:", "clean drain"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestDaemonBadFlags: flag errors and unusable addresses fail fast.
 func TestDaemonBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {

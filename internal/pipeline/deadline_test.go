@@ -1,0 +1,100 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/pipeline"
+)
+
+// stall is a registrable decomposer that absorbs the whole request budget
+// and then — unlike a well-behaved one — still returns a valid partition,
+// so its level completes successfully after the deadline passed. That is
+// exactly the shape that exposes whether the executor re-checks the
+// budget between levels or burns workers on a doomed DAG.
+type stall struct{ name string }
+
+func (s stall) run(ctx context.Context, g graph.Interface, cfg decomp.Config) (*decomp.Partition, error) {
+	<-ctx.Done()
+	members := make([]int, g.N())
+	for v := range members {
+		members[v] = v
+	}
+	return &decomp.Partition{
+		Algorithm: s.name,
+		N:         g.N(),
+		Clusters:  []decomp.Cluster{{Members: members}},
+		ClusterOf: make([]int, g.N()),
+		Colors:    1,
+		Complete:  true,
+		Mode:      decomp.StrongDiameter,
+	}, nil
+}
+
+// TestRunStopsAtLevelBoundaryOnDeadline pins the per-level budget check:
+// when the deadline expires during level 0, level 1 never dispatches —
+// no StageStart for any downstream stage — and the run fails with the
+// deadline error, counted in pipeline.deadline.stops.
+func TestRunStopsAtLevelBoundaryOnDeadline(t *testing.T) {
+	st := stall{name: "test/stall-deadline"}
+	decomp.Register(decomp.Func{AlgorithmName: st.name, Run: st.run})
+	pl, err := decomp.Compile(st.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.NewBuilder().
+		AddStage("dec", pipeline.Decompose(pl)).
+		AddStage("re", pipeline.Recolor()).
+		AddStage("mis", pipeline.MIS()).
+		AddEdge("dec", "re").
+		AddEdge("re", "mis").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t, 64, 9)
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	started := map[string]bool{}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := pipeline.Run(ctx, p, g,
+		pipeline.WithRecorder(obs.New(reg, nil)),
+		pipeline.WithObserver(func(ev pipeline.StageEvent) {
+			if ev.Status == pipeline.StageStart {
+				mu.Lock()
+				started[ev.Stage] = true
+				mu.Unlock()
+			}
+		}))
+	if res != nil {
+		t.Fatal("doomed run returned a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !strings.Contains(err.Error(), "budget expired before level 1") {
+		t.Fatalf("err = %v, want budget-expired-before-level-1 wrapping DeadlineExceeded", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !started["dec"] {
+		t.Fatal("level-0 stage never started")
+	}
+	if started["re"] || started["mis"] {
+		t.Fatalf("downstream stages dispatched after expiry: %v", started)
+	}
+	var stops int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "pipeline.deadline.stops" {
+			stops = c.Value
+		}
+	}
+	if stops != 1 {
+		t.Fatalf("pipeline.deadline.stops = %d, want 1", stops)
+	}
+}

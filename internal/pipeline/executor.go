@@ -215,7 +215,17 @@ func (e *Executor) Run(ctx context.Context, p *Pipeline, g graph.Interface) (*Re
 		mu       sync.Mutex // guards values, res.stages, firstErr
 		firstErr error
 	)
-	for _, level := range p.levels {
+	for li, level := range p.levels {
+		// A doomed DAG stops at the level boundary: when the request's
+		// budget is already spent, dispatching the next level would only
+		// burn workers on results nobody can receive.
+		if cerr := ctx.Err(); cerr != nil {
+			if e.rec != nil {
+				e.rec.Counter("pipeline.deadline.stops").Inc()
+				e.rec.Counter("pipeline.errors").Inc()
+			}
+			return nil, fmt.Errorf("pipeline: budget expired before level %d: %w", li, cerr)
+		}
 		// One level is a barrier: dispatch its stages in sorted-ID order
 		// through a bounded worker group, then wait before the next level.
 		sem := make(chan struct{}, levelWorkers(e.workers, len(level)))

@@ -1,0 +1,48 @@
+package resilience
+
+// Per-request deadlines. A request's budget is resolved from three
+// inputs — what the client asked for, the server default, the server
+// max — and becomes a context deadline that flows through the session
+// job and every pipeline stage, so a doomed request stops consuming
+// workers the moment its budget is spent instead of when its work
+// happens to finish.
+
+import (
+	"context"
+	"time"
+)
+
+// DeadlinePolicy resolves per-request execution budgets. The zero value
+// imposes no deadline at all.
+type DeadlinePolicy struct {
+	// Default is the budget applied when the request names none
+	// (0 = unlimited unless Max clamps).
+	Default time.Duration
+	// Max is the server-side clamp: no request may hold a worker longer,
+	// whatever it asked for (0 = no clamp).
+	Max time.Duration
+}
+
+// Resolve returns the effective budget for a request asking for
+// `requested` (0 = client named none): the request's own value or the
+// default, clamped by the max. 0 means no deadline.
+func (p DeadlinePolicy) Resolve(requested time.Duration) time.Duration {
+	d := requested
+	if d <= 0 {
+		d = p.Default
+	}
+	if p.Max > 0 && (d <= 0 || d > p.Max) {
+		d = p.Max
+	}
+	return d
+}
+
+// Context derives the request's execution context: parent bounded by the
+// resolved budget (plain cancellation when the budget is unlimited). The
+// caller must call cancel.
+func (p DeadlinePolicy) Context(parent context.Context, requested time.Duration) (context.Context, context.CancelFunc) {
+	if d := p.Resolve(requested); d > 0 {
+		return context.WithTimeout(parent, d)
+	}
+	return context.WithCancel(parent)
+}

@@ -1,0 +1,104 @@
+package resilience
+
+// The admission gate: a counting semaphore with a bounded wait queue in
+// front of it. Three outcomes, decided in order:
+//
+//	slot free          → admitted immediately
+//	queue has room     → wait (FIFO) for a slot, a drain, or ctx expiry
+//	queue full         → ErrSaturated, reject now
+//
+// The FIFO discipline rides the Go runtime's channel wait queues: blocked
+// senders on the slot channel are woken in arrival order, so a queued
+// request cannot be starved by later arrivals. The queue bound is what
+// turns overload into fast 429s instead of an unbounded pile of waiting
+// handlers — the wait a queued request experiences is at most
+// Queue/Slots service times, which is exactly the Retry-After hint a
+// rejected request should be given.
+
+import (
+	"context"
+	"time"
+)
+
+// GateConfig sizes one admission gate.
+type GateConfig struct {
+	// Slots is the number of concurrently admitted requests. 0 disables
+	// the gate entirely (unlimited admission, drain still honored).
+	Slots int
+	// Queue is how many requests may wait for a slot beyond the admitted
+	// ones; 0 means a busy gate rejects immediately.
+	Queue int
+	// RetryAfter is the back-off hint returned with rejections
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+// retryAfter applies the default.
+func (c GateConfig) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+// Gate is one class's admission semaphore. Create through NewGovernor.
+type Gate struct {
+	cfg     GateConfig
+	slots   chan struct{} // nil when unlimited
+	queue   chan struct{}
+	drainCh <-chan struct{}
+}
+
+// newGate builds a gate sharing the governor's drain channel.
+func newGate(cfg GateConfig, drainCh <-chan struct{}) *Gate {
+	g := &Gate{cfg: cfg, drainCh: drainCh}
+	if cfg.Slots > 0 {
+		g.slots = make(chan struct{}, cfg.Slots)
+		if cfg.Queue > 0 {
+			g.queue = make(chan struct{}, cfg.Queue)
+		}
+	}
+	return g
+}
+
+// acquire takes one slot, reporting whether the caller had to queue.
+func (g *Gate) acquire(ctx context.Context) (queued bool, err error) {
+	select {
+	case <-g.drainCh:
+		return false, ErrDraining
+	default:
+	}
+	if g.slots == nil {
+		return false, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return false, nil
+	default:
+	}
+	if g.queue == nil {
+		return false, ErrSaturated
+	}
+	// Reserve a queue position; a full queue rejects without blocking.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return false, ErrSaturated
+	}
+	defer func() { <-g.queue }()
+	select {
+	case g.slots <- struct{}{}:
+		return true, nil
+	case <-g.drainCh:
+		return true, ErrDraining
+	case <-ctx.Done():
+		return true, ctx.Err()
+	}
+}
+
+// release returns one slot.
+func (g *Gate) release() {
+	if g.slots != nil {
+		<-g.slots
+	}
+}

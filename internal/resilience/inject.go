@@ -1,0 +1,172 @@
+package resilience
+
+// The deterministic fault-injection harness. One Injector holds one
+// seeded internal/randx stream and a set of per-fault rates; wrapped
+// around the session runner (WrapRunner → session.WithRunner) and the
+// snapshot writer (FlushError, consulted by the serve persister) it
+// turns a healthy daemon into a misbehaving one on demand:
+//
+//	latency spikes   a run sleeps Latency before executing
+//	errors           a run fails with ErrInjected instead of executing
+//	panics           a run panics (the session's isolation converts it
+//	                 to a per-key error; the process must survive)
+//	flush errors     a snapshot write fails with ErrInjected (the
+//	                 persister's retry ladder must absorb it)
+//
+// Determinism: all draws come from one mutex-guarded SplitMix64, so a
+// serialized caller replays the exact fault sequence for a seed. Under
+// concurrency the interleaving of draws is scheduler-dependent but the
+// marginal rates are not — which is what the chaos acceptance asserts.
+//
+// The injector is toggled (SetEnabled) rather than rebuilt so a chaos
+// episode has crisp edges: prime clean, enable, misbehave, disable,
+// verify recovery.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// ErrInjected marks a failure manufactured by the harness. Handlers keep
+// it in the error chain so "every 5xx has a cause" stays checkable.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// InjectorConfig shapes one injector. All rates are probabilities in
+// [0, 1]; a zero rate disables that fault.
+type InjectorConfig struct {
+	// Seed seeds the fault stream; equal seeds replay equal decisions.
+	Seed uint64
+	// LatencyRate is the probability a run is delayed by Latency.
+	LatencyRate float64
+	Latency     time.Duration
+	// ErrorRate is the probability a run fails with ErrInjected.
+	ErrorRate float64
+	// PanicRate is the probability a run panics.
+	PanicRate float64
+	// FlushErrorRate is the probability a snapshot write fails.
+	FlushErrorRate float64
+}
+
+// InjectorStats counts the faults actually injected.
+type InjectorStats struct {
+	Latencies   int64 `json:"latencies"`
+	Errors      int64 `json:"errors"`
+	Panics      int64 `json:"panics"`
+	FlushErrors int64 `json:"flushErrors"`
+}
+
+// RunFunc is the execution signature the injector wraps — structurally
+// identical to session.Runner, so a wrapped runner converts directly.
+type RunFunc func(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error)
+
+// Injector injects faults by rate from one seeded stream. Safe for
+// concurrent use; starts enabled.
+type Injector struct {
+	cfg     InjectorConfig
+	enabled atomic.Bool
+	sleep   func(time.Duration) // test seam; nil = ctx-aware real sleep
+
+	mu  sync.Mutex
+	rng *randx.SplitMix64
+
+	latencies   atomic.Int64
+	errors      atomic.Int64
+	panics      atomic.Int64
+	flushErrors atomic.Int64
+}
+
+// NewInjector builds an enabled injector over a fresh seeded stream.
+func NewInjector(cfg InjectorConfig) *Injector {
+	in := &Injector{cfg: cfg, rng: randx.New(cfg.Seed)}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled toggles injection; a disabled injector is transparent.
+func (in *Injector) SetEnabled(on bool) { in.enabled.Store(on) }
+
+// Enabled reports whether faults are being injected.
+func (in *Injector) Enabled() bool { return in.enabled.Load() }
+
+// SetSleep replaces the latency-spike sleep (tests); nil restores the
+// default ctx-aware sleep.
+func (in *Injector) SetSleep(fn func(time.Duration)) { in.sleep = fn }
+
+// Stats returns the lifetime fault counts.
+func (in *Injector) Stats() InjectorStats {
+	return InjectorStats{
+		Latencies:   in.latencies.Load(),
+		Errors:      in.errors.Load(),
+		Panics:      in.panics.Load(),
+		FlushErrors: in.flushErrors.Load(),
+	}
+}
+
+// draw returns the next uniform [0,1) decision variate.
+func (in *Injector) draw() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// WrapRunner returns a runner that injects the configured run faults
+// before delegating to next (nil next = Plan.Run). Fault order per run:
+// latency spike first (a slow fault is still a fault), then panic, then
+// error — each drawn independently.
+func (in *Injector) WrapRunner(next RunFunc) RunFunc {
+	if next == nil {
+		next = func(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error) {
+			return pl.Run(ctx, g)
+		}
+	}
+	return func(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error) {
+		if in.Enabled() {
+			if in.cfg.LatencyRate > 0 && in.cfg.Latency > 0 && in.draw() < in.cfg.LatencyRate {
+				in.latencies.Add(1)
+				in.pause(ctx, in.cfg.Latency)
+			}
+			if in.cfg.PanicRate > 0 && in.draw() < in.cfg.PanicRate {
+				n := in.panics.Add(1)
+				panic(fmt.Sprintf("resilience: injected panic #%d", n))
+			}
+			if in.cfg.ErrorRate > 0 && in.draw() < in.cfg.ErrorRate {
+				n := in.errors.Add(1)
+				return nil, fmt.Errorf("%w: decomposer error #%d", ErrInjected, n)
+			}
+		}
+		return next(ctx, pl, g)
+	}
+}
+
+// FlushError draws the snapshot-write fault: nil, or ErrInjected to make
+// this write attempt fail. The serve persister consults it before every
+// physical write, inside its retry ladder.
+func (in *Injector) FlushError() error {
+	if !in.Enabled() || in.cfg.FlushErrorRate <= 0 || in.draw() >= in.cfg.FlushErrorRate {
+		return nil
+	}
+	n := in.flushErrors.Add(1)
+	return fmt.Errorf("%w: snapshot write #%d", ErrInjected, n)
+}
+
+// pause sleeps d, cut short by ctx when using the real clock.
+func (in *Injector) pause(ctx context.Context, d time.Duration) {
+	if in.sleep != nil {
+		in.sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,290 @@
+// Package resilience is the overload-and-failure story of the serving
+// stack: admission control, load shedding, request deadlines, bounded
+// retries, and a deterministic fault-injection harness. It owns no HTTP
+// and no session state — internal/serve wires its pieces through the
+// request path, internal/session takes its wrapped runner, and
+// cmd/netdecompd drives the whole ladder under -chaos.
+//
+// The pieces, bottom up:
+//
+//   - Gate: a semaphore-bounded admission gate with a bounded FIFO wait
+//     queue. A request either holds a slot, waits in the queue, or is
+//     rejected immediately (ErrSaturated → 429 + Retry-After upstairs).
+//
+//   - Governor: one gate per endpoint class (decompose / pipeline /
+//     register) plus the degradation ladder: when heavy in-flight work
+//     crosses the shed watermark the governor reports Degraded, and the
+//     serve layer stops admitting cold-miss work while still serving
+//     cache hits (stale-but-authentic snapshot entries included). The
+//     governor also coordinates graceful drain: StartDrain stops
+//     admissions, WaitIdle bounds how long in-flight work may finish.
+//
+//   - DeadlinePolicy: per-request budgets (client-requested, defaulted,
+//     clamped by a server max) resolved into context deadlines that flow
+//     through session jobs and pipeline stages.
+//
+//   - Retry: bounded exponential backoff with deterministic jitter
+//     (seeded internal/randx PRNG, injectable sleep) for transient
+//     failures — the snapshot-flush path rides it.
+//
+//   - Injector: deterministic fault injection (latency spikes, errors,
+//     panics, snapshot-write failures, all by rate from one seeded PRNG)
+//     wrapped around the session runner and the snapshot writer, so
+//     chaos runs are reproducible and the acceptance tests can assert
+//     the daemon degrades instead of dying.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"netdecomp/internal/obs"
+)
+
+// ErrSaturated reports an admission gate whose slots and wait queue are
+// both full: the request must be rejected now (HTTP 429), with the gate's
+// RetryAfter as the back-off hint.
+var ErrSaturated = errors.New("resilience: admission gate saturated")
+
+// ErrDraining reports an admission attempt after StartDrain: the process
+// is shutting down and accepts no new work (HTTP 503).
+var ErrDraining = errors.New("resilience: draining, not admitting work")
+
+// Class names an admission endpoint class. Decompose and Pipeline are the
+// heavy classes — they execute decompositions — and count against the
+// shed watermark; Register is cheap bookkeeping with its own gate.
+type Class int
+
+const (
+	ClassDecompose Class = iota
+	ClassPipeline
+	ClassRegister
+	numClasses
+)
+
+// String names the class for metrics and logs.
+func (c Class) String() string {
+	switch c {
+	case ClassDecompose:
+		return "decompose"
+	case ClassPipeline:
+		return "pipeline"
+	case ClassRegister:
+		return "register"
+	default:
+		return "unknown"
+	}
+}
+
+// heavy reports whether the class counts against the shed watermark.
+func (c Class) heavy() bool { return c == ClassDecompose || c == ClassPipeline }
+
+// Options configures a Governor. The zero value disables every limit:
+// unbounded admission, no shedding, no deadlines — exactly the
+// pre-resilience serving behavior, so embedding it is always safe.
+type Options struct {
+	// Decompose, Pipeline and Register configure the per-class admission
+	// gates (zero Slots = that class is unlimited).
+	Decompose GateConfig
+	Pipeline  GateConfig
+	Register  GateConfig
+	// ShedWatermark is the degradation threshold: when the heavy classes
+	// (decompose + pipeline) hold this many admissions, Degraded reports
+	// true and the serve layer sheds cold-miss work. 0 never degrades.
+	ShedWatermark int
+	// Deadline is the per-request budget policy.
+	Deadline DeadlinePolicy
+}
+
+// Stats is a point-in-time snapshot of the governor counters.
+type Stats struct {
+	// Degraded and Draining are the current ladder state.
+	Degraded bool `json:"degraded"`
+	Draining bool `json:"draining"`
+	// InFlight is the number of admissions currently held (all classes);
+	// HeavyInFlight counts only the watermarked classes.
+	InFlight      int `json:"inFlight"`
+	HeavyInFlight int `json:"heavyInFlight"`
+	// Admitted, Queued and Rejected are lifetime admission outcomes:
+	// every Acquire lands in Admitted or Rejected, and Queued counts the
+	// admitted ones that waited in a gate queue first.
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Governor is the admission authority of one serving process: per-class
+// gates, the shed watermark, and the drain gate. Safe for concurrent use.
+type Governor struct {
+	opts  Options
+	gates [numClasses]*Gate
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	mu       sync.Mutex
+	inflight [numClasses]int
+	heavy    int
+
+	cAdmitted *obs.Counter
+	cQueued   *obs.Counter
+	cRejected *obs.Counter
+	gInflight *obs.Gauge
+	gDegraded *obs.Gauge
+}
+
+// NewGovernor builds a governor. rec may be nil (a private metrics-only
+// registry is created); with a recorder the governor reports under the
+// resilience.* names beside the serve metrics.
+func NewGovernor(opts Options, rec *obs.Recorder) *Governor {
+	if rec == nil {
+		rec = obs.New(obs.NewRegistry(), nil)
+	}
+	gv := &Governor{opts: opts, drainCh: make(chan struct{})}
+	gv.gates[ClassDecompose] = newGate(opts.Decompose, gv.drainCh)
+	gv.gates[ClassPipeline] = newGate(opts.Pipeline, gv.drainCh)
+	gv.gates[ClassRegister] = newGate(opts.Register, gv.drainCh)
+	gv.cAdmitted = rec.Counter("resilience.admitted")
+	gv.cQueued = rec.Counter("resilience.queued")
+	gv.cRejected = rec.Counter("resilience.rejected")
+	gv.gInflight = rec.Gauge("resilience.inflight")
+	gv.gDegraded = rec.Gauge("resilience.degraded")
+	return gv
+}
+
+// Acquire admits one request of class c: immediately when a slot is free,
+// after a bounded FIFO wait when the gate is busy. It returns the release
+// function the caller must invoke when the request finishes (idempotent),
+// or ErrSaturated (gate and queue full), ErrDraining (after StartDrain),
+// or ctx's error (the caller gave up waiting).
+func (gv *Governor) Acquire(ctx context.Context, c Class) (release func(), err error) {
+	queued, err := gv.gates[c].acquire(ctx)
+	if err != nil {
+		gv.cRejected.Inc()
+		return nil, err
+	}
+	if queued {
+		gv.cQueued.Inc()
+	}
+	gv.cAdmitted.Inc()
+	gv.mu.Lock()
+	gv.inflight[c]++
+	if c.heavy() {
+		gv.heavy++
+	}
+	gv.publishLocked()
+	gv.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			gv.gates[c].release()
+			gv.mu.Lock()
+			gv.inflight[c]--
+			if c.heavy() {
+				gv.heavy--
+			}
+			gv.publishLocked()
+			gv.mu.Unlock()
+		})
+	}, nil
+}
+
+// publishLocked refreshes the gauges. Caller holds gv.mu.
+func (gv *Governor) publishLocked() {
+	total := 0
+	for _, n := range gv.inflight {
+		total += n
+	}
+	gv.gInflight.Set(int64(total))
+	if gv.degradedLocked() {
+		gv.gDegraded.Set(1)
+	} else {
+		gv.gDegraded.Set(0)
+	}
+}
+
+// degradedLocked evaluates the watermark. Caller holds gv.mu.
+func (gv *Governor) degradedLocked() bool {
+	return gv.opts.ShedWatermark > 0 && gv.heavy >= gv.opts.ShedWatermark
+}
+
+// Degraded reports whether heavy in-flight work has crossed the shed
+// watermark: the serve layer then rejects cold-miss work (429) while
+// still serving cache hits.
+func (gv *Governor) Degraded() bool {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	return gv.degradedLocked()
+}
+
+// InFlight returns the number of admissions currently held, all classes.
+func (gv *Governor) InFlight() int {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	total := 0
+	for _, n := range gv.inflight {
+		total += n
+	}
+	return total
+}
+
+// RetryAfter returns the 429 back-off hint for class c.
+func (gv *Governor) RetryAfter(c Class) time.Duration {
+	return gv.gates[c].cfg.retryAfter()
+}
+
+// Deadline returns the governor's per-request budget policy.
+func (gv *Governor) Deadline() DeadlinePolicy { return gv.opts.Deadline }
+
+// StartDrain flips the governor into drain mode: every subsequent (and
+// every queued) Acquire fails with ErrDraining, while already-admitted
+// work keeps its slots until released. Idempotent.
+func (gv *Governor) StartDrain() {
+	gv.drainOnce.Do(func() { close(gv.drainCh) })
+}
+
+// Draining reports whether StartDrain has been called.
+func (gv *Governor) Draining() bool {
+	select {
+	case <-gv.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitIdle blocks until every admission is released or timeout passes,
+// returning the number still in flight (0 = clean drain). The poll
+// cadence is coarse — this runs once, at shutdown.
+func (gv *Governor) WaitIdle(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := gv.InFlight()
+		if n == 0 || !time.Now().Before(deadline) {
+			return n
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Snapshot returns the governor counters.
+func (gv *Governor) Snapshot() Stats {
+	gv.mu.Lock()
+	total := 0
+	for _, n := range gv.inflight {
+		total += n
+	}
+	st := Stats{
+		Degraded:      gv.degradedLocked(),
+		InFlight:      total,
+		HeavyInFlight: gv.heavy,
+	}
+	gv.mu.Unlock()
+	st.Draining = gv.Draining()
+	st.Admitted = gv.cAdmitted.Value()
+	st.Queued = gv.cQueued.Value()
+	st.Rejected = gv.cRejected.Value()
+	return st
+}

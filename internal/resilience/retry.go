@@ -1,0 +1,88 @@
+package resilience
+
+// Bounded retry with exponential backoff and deterministic jitter. The
+// sleep function and the PRNG are both injectable, so tests (and the
+// chaos harness) replay exact schedules with zero wall-clock waiting;
+// production callers pass nil for both and get time.Sleep over a
+// seed-0 stream.
+
+import (
+	"context"
+	"time"
+
+	"netdecomp/internal/randx"
+)
+
+// Backoff shapes one retry schedule.
+type Backoff struct {
+	// Attempts is the total number of tries, first included (default 3;
+	// 1 means no retry).
+	Attempts int
+	// Base is the delay before the first retry; each further retry
+	// doubles it (default 25ms).
+	Base time.Duration
+	// Cap bounds any single delay (default 1s).
+	Cap time.Duration
+	// Jitter is the fraction of each delay randomized: the slept delay
+	// is uniform in [d·(1−Jitter), d·(1+Jitter)], capped. 0 keeps the
+	// schedule exact; default 0.5.
+	Jitter float64
+}
+
+// withDefaults fills the zero values.
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 3
+	}
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = time.Second
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// delay returns the pre-jitter delay before retry i (1-based).
+func (b Backoff) delay(i int) time.Duration {
+	d := b.Base
+	for ; i > 1 && d < b.Cap; i-- {
+		d *= 2
+	}
+	return min(d, b.Cap)
+}
+
+// Retry runs fn until it succeeds, the attempts are spent, or ctx
+// expires while backing off. It returns the number of attempts made and
+// the last error (nil on success). rng seeds the jitter (nil = a fresh
+// seed-0 stream; pass your own for reproducible schedules) and sleep
+// replaces time.Sleep (nil = real sleeping).
+func Retry(ctx context.Context, b Backoff, rng *randx.SplitMix64, sleep func(time.Duration), fn func() error) (attempts int, err error) {
+	b = b.withDefaults()
+	if rng == nil {
+		rng = randx.New(0)
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for attempts = 1; ; attempts++ {
+		if err = fn(); err == nil || attempts >= b.Attempts {
+			return attempts, err
+		}
+		d := b.delay(attempts)
+		if b.Jitter > 0 {
+			f := 1 - b.Jitter + 2*b.Jitter*rng.Float64()
+			d = min(time.Duration(float64(d)*f), b.Cap)
+		}
+		sleep(d)
+		if cerr := ctx.Err(); cerr != nil {
+			return attempts, cerr
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/gen"
 	"netdecomp/internal/graph"
+	"netdecomp/internal/resilience"
 	"netdecomp/internal/session"
 )
 
@@ -107,6 +108,10 @@ type DecomposeRequest struct {
 	Graph string  `json:"graph"`
 	Plan  string  `json:"plan"`
 	Seed  *uint64 `json:"seed,omitempty"`
+	// DeadlineMs requests a server-side execution budget in milliseconds
+	// (clamped by the server maximum; 0 = server default). The
+	// X-Deadline-Ms header is the equivalent for header-only clients.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 }
 
 // DecomposeResponse is the served result.
@@ -141,6 +146,27 @@ type StatsResponse struct {
 	SSE SSEInfo `json:"sse"`
 	// Store describes the persistent result store (nil when disabled).
 	Store *StoreInfo `json:"store,omitempty"`
+	// Resilience reports admission, shedding, deadline, and fault-injection
+	// state.
+	Resilience *ResilienceInfo `json:"resilience,omitempty"`
+}
+
+// ResilienceInfo is the /v1/stats resilience block: the governor's
+// admission snapshot (including the degraded flag) plus the serve-layer
+// outcome counters, and — when chaos is configured — the injector's
+// delivered-fault tallies.
+type ResilienceInfo struct {
+	Governor resilience.Stats `json:"governor"`
+	// Shed counts cold-miss requests rejected while degraded; Timeouts and
+	// ClientCancels split the two ways a bounded request dies (504 vs 499);
+	// HandlerPanics counts requests answered 500 by the recovery middleware.
+	Shed          int64 `json:"shed"`
+	Timeouts      int64 `json:"timeouts"`
+	ClientCancels int64 `json:"clientCancels"`
+	HandlerPanics int64 `json:"handlerPanics"`
+	// Injector reports delivered faults when chaos is configured.
+	Injector        *resilience.InjectorStats `json:"injector,omitempty"`
+	InjectorEnabled bool                      `json:"injectorEnabled,omitempty"`
 }
 
 // SSEInfo reports the server-sent-events subsystem: total streams served

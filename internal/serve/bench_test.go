@@ -2,11 +2,16 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"netdecomp/internal/resilience"
 )
 
 // benchServer boots a server with a pre-registered gnp graph and
@@ -37,6 +42,7 @@ func benchServer(b *testing.B, opts Options) (base, gk, pk string) {
 	post("/v1/graphs", GraphSpec{Family: "gnp", N: 1024, Seed: 1}, &gi)
 	var pi PlanInfo
 	post("/v1/plans", PlanSpec{Algorithm: "elkin-neiman", ForceComplete: true}, &pi)
+	benchServers.Store(ts.URL, s)
 	return ts.URL, gi.Fingerprint, pi.Plan
 }
 
@@ -79,6 +85,75 @@ func BenchmarkServeColdMiss(b *testing.B) {
 			b.Fatal("cold path hit the cache")
 		}
 	}
+}
+
+// BenchmarkResilienceWarmHitUnderSaturation measures the warm-hit path
+// while the decompose admission gate is fully saturated at 4× capacity —
+// the ISSUE's guarantee that cache hits bypass admission entirely, so a
+// saturated gate costs them nothing. Saturation is synthetic: the slots
+// and queue are held directly through the governor, with overflow
+// acquirers parked exactly like queued cold requests.
+func BenchmarkResilienceWarmHitUnderSaturation(b *testing.B) {
+	const slots = 2
+	base, gk, pk := benchServer(b, Options{Workers: 2, Resilience: resilience.Options{
+		Decompose: resilience.GateConfig{Slots: slots, Queue: slots},
+	}})
+	body, _ := json.Marshal(DecomposeRequest{Graph: gk, Plan: pk})
+	client := &http.Client{}
+	warmupOnce(b, client, base, body)
+
+	// 4× saturation: fill every slot, every queue position, and park
+	// twice capacity more in overflow-rejected retry loops.
+	s := serverOf(b, base)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4*slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				release, err := s.gov.Acquire(ctx, resilience.ClassDecompose)
+				if err != nil {
+					// A real rejected client backs off before retrying;
+					// spinning would just starve the process.
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				<-ctx.Done()
+				release()
+			}
+		}()
+	}
+	defer wg.Wait()
+	for s.gov.InFlight() < slots {
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dr DecomposeResponse
+		doBenchRequest(b, client, base, body, &dr)
+		if !dr.CacheHit {
+			b.Fatal("warm path missed the cache under saturation")
+		}
+	}
+	b.StopTimer()
+	cancel()
+}
+
+// benchServers tracks the *Server behind each benchServer base URL so
+// saturation benchmarks can reach the governor directly.
+var benchServers sync.Map
+
+func serverOf(b *testing.B, base string) *Server {
+	b.Helper()
+	v, ok := benchServers.Load(base)
+	if !ok {
+		b.Fatal("unknown bench server")
+	}
+	return v.(*Server)
 }
 
 func warmupOnce(b *testing.B, client *http.Client, base string, body []byte) {

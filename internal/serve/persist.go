@@ -24,12 +24,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
 	"time"
 
 	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+	"netdecomp/internal/resilience"
 )
 
 // graphRecord persists one registered graph: the spec for generator
@@ -53,6 +56,9 @@ type persister struct {
 	s        *Server
 	path     string
 	interval time.Duration
+	retry    resilience.Backoff
+	rng      *randx.SplitMix64   // backoff jitter source
+	sleep    func(time.Duration) // test seam; nil = real sleeping
 
 	mu         sync.Mutex
 	flushes    int64
@@ -65,8 +71,9 @@ type persister struct {
 	doneCh   chan struct{}
 }
 
-func newPersister(s *Server, path string, interval time.Duration) *persister {
-	return &persister{s: s, path: path, interval: interval,
+func newPersister(s *Server, path string, interval time.Duration, retry resilience.Backoff) *persister {
+	return &persister{s: s, path: path, interval: interval, retry: retry,
+		rng:    randx.New(0),
 		stopCh: make(chan struct{}), doneCh: make(chan struct{})}
 }
 
@@ -102,12 +109,28 @@ func (p *persister) stop() error {
 }
 
 // flush snapshots the session cache plus the serve registries to disk.
+// A failed write retries with exponential backoff and jitter (Options.
+// FlushRetry): a transient disk hiccup — or an injected chaos fault —
+// costs a delay, not a lost snapshot interval.
 func (p *persister) flush() (int, error) {
 	meta, err := p.s.encodeMeta()
 	if err != nil {
 		return 0, err
 	}
-	n, err := p.s.sess.SnapshotToFile(p.path, meta)
+	var n int
+	attempts, err := resilience.Retry(context.Background(), p.retry, p.rng, p.sleep, func() error {
+		if inj := p.s.injector; inj != nil {
+			if ferr := inj.FlushError(); ferr != nil {
+				return ferr
+			}
+		}
+		var werr error
+		n, werr = p.s.sess.SnapshotToFile(p.path, meta)
+		return werr
+	})
+	if attempts > 1 {
+		p.s.rec.Counter("serve.store.flush_retries").Add(int64(attempts - 1))
+	}
 	if err != nil {
 		p.s.rec.Counter("serve.store.flush_errors").Inc()
 		return 0, err

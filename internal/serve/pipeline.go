@@ -18,6 +18,7 @@ import (
 	"netdecomp/internal/decomp"
 	"netdecomp/internal/graph"
 	"netdecomp/internal/pipeline"
+	"netdecomp/internal/resilience"
 )
 
 // PipelineRequest is the POST /v1/pipeline body: a registered graph
@@ -27,6 +28,11 @@ import (
 type PipelineRequest struct {
 	Graph    string        `json:"graph"`
 	Pipeline pipeline.Spec `json:"pipeline"`
+	// DeadlineMs requests a server-side execution budget in milliseconds
+	// (clamped by the server maximum; 0 = server default). The executor
+	// re-checks the budget at every level boundary, so an expired pipeline
+	// stops between levels instead of burning workers on a doomed DAG.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 }
 
 // StageResultInfo is the API view of one completed stage: identity,
@@ -93,31 +99,31 @@ type stageEvent struct {
 }
 
 // resolvePipeline decodes, validates and resolves a pipeline request.
-func (s *Server) resolvePipeline(w http.ResponseWriter, r *http.Request) (*graph.Graph, *pipeline.Pipeline, string, bool) {
+func (s *Server) resolvePipeline(w http.ResponseWriter, r *http.Request) (*graph.Graph, *pipeline.Pipeline, string, int64, bool) {
 	var req PipelineRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 	if err := dec.Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "decoding pipeline request: %v", err)
-		return nil, nil, "", false
+		return nil, nil, "", 0, false
 	}
 	fp, err := parseKey(req.Graph)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "graph: %v", err)
-		return nil, nil, "", false
+		return nil, nil, "", 0, false
 	}
 	s.mu.RLock()
 	ge, ok := s.graphs[fp]
 	s.mu.RUnlock()
 	if !ok {
 		s.fail(w, http.StatusNotFound, "graph %s not registered (POST /v1/graphs first)", keyString(fp))
-		return nil, nil, "", false
+		return nil, nil, "", 0, false
 	}
 	p, err := req.Pipeline.Build()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
-		return nil, nil, "", false
+		return nil, nil, "", 0, false
 	}
-	return ge.g, p, keyString(fp), true
+	return ge.g, p, keyString(fp), req.DeadlineMs, true
 }
 
 // pipelineResponse renders an executed pipeline.
@@ -175,15 +181,25 @@ func pipelineResponse(gk string, p *pipeline.Pipeline, res *pipeline.Result, lat
 // execute level-parallel through the session, respond with the full
 // per-stage result document.
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
-	g, p, gk, ok := s.resolvePipeline(w, r)
+	g, p, gk, deadlineMs, ok := s.resolvePipeline(w, r)
 	if !ok {
 		return
 	}
+	if s.shedColdWork(w, resilience.ClassPipeline) {
+		return
+	}
+	release, ok := s.admit(w, r, resilience.ClassPipeline)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.gov.Deadline().Context(r.Context(), requestDeadline(r, deadlineMs))
+	defer cancel()
 	start := time.Now()
-	res, err := pipeline.Run(r.Context(), p, g,
+	res, err := pipeline.Run(ctx, p, g,
 		pipeline.WithSession(s.sess), pipeline.WithRecorder(s.rec))
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.failExec(w, r, err, "pipeline")
 		return
 	}
 	lat := time.Since(start)
@@ -209,7 +225,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 // the terminal result event (droppedEvents) and the aggregate lands in
 // serve.sse.dropped_events on /v1/stats.
 func (s *Server) handlePipelineStream(w http.ResponseWriter, r *http.Request) {
-	g, p, gk, ok := s.resolvePipeline(w, r)
+	g, p, gk, deadlineMs, ok := s.resolvePipeline(w, r)
 	if !ok {
 		return
 	}
@@ -218,12 +234,18 @@ func (s *Server) handlePipelineStream(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
+	if s.shedColdWork(w, resilience.ClassPipeline) {
+		return
+	}
+	release, aok := s.admit(w, r, resilience.ClassPipeline)
+	if !aok {
+		return
+	}
+	defer release()
 	s.cSSEClients.Inc()
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	s.gSSEActive.Add(1)
+	defer s.gSSEActive.Add(-1)
+	startSSE(w, flusher)
 
 	// Bounded hand-off: the executor's serialized observer never blocks on
 	// the client; overflow is counted per stream and in the aggregate.
@@ -254,9 +276,11 @@ func (s *Server) handlePipelineStream(w http.ResponseWriter, r *http.Request) {
 		res *pipeline.Result
 		err error
 	}
+	ctx, cancel := s.gov.Deadline().Context(r.Context(), requestDeadline(r, deadlineMs))
+	defer cancel()
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := pipeline.Run(r.Context(), p, g,
+		res, err := pipeline.Run(ctx, p, g,
 			pipeline.WithSession(s.sess), pipeline.WithRecorder(s.rec),
 			pipeline.WithObserver(observer))
 		done <- outcome{res, err}
@@ -284,6 +308,7 @@ func (s *Server) handlePipelineStream(w http.ResponseWriter, r *http.Request) {
 		break
 	}
 	if out.err != nil {
+		s.countExecErr(r, out.err)
 		writeSSE(w, "error", errorResponse{Error: out.err.Error()})
 		flusher.Flush()
 		return

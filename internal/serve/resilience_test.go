@@ -1,0 +1,581 @@
+package serve
+
+// The serving layer's resilience contracts: admission control (429 +
+// Retry-After), load shedding while degraded (warm hits still served),
+// graceful drain (/readyz flip, completed-vs-abandoned accounting),
+// deadline classification (504 vs 499), handler panic isolation, the SSE
+// disconnect slot release, and the snapshot flush retry ladder. The
+// chaos acceptance test at the bottom composes all of them under the
+// deterministic fault injector.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/resilience"
+	"netdecomp/internal/session"
+)
+
+// blocker is a registrable decomposer that parks until released (or its
+// ctx expires — it is deadline-well-behaved). Registration outlives the
+// test, so the blocker is disarmed at test end and acts as a valid
+// deterministic decomposer afterwards.
+type blocker struct {
+	name    string
+	started chan struct{} // one buffered signal per run
+	release chan struct{}
+	armed   atomic.Bool
+	runs    atomic.Int64
+}
+
+func registerBlocker(t *testing.T, name string) *blocker {
+	t.Helper()
+	b := &blocker{name: name, started: make(chan struct{}, 64), release: make(chan struct{})}
+	b.armed.Store(true)
+	t.Cleanup(func() { b.armed.Store(false) })
+	decomp.Register(decomp.Func{AlgorithmName: name, Run: b.run})
+	return b
+}
+
+func onePartition(name string, g graph.Interface) *decomp.Partition {
+	members := make([]int, g.N())
+	for v := range members {
+		members[v] = v
+	}
+	return &decomp.Partition{
+		Algorithm: name,
+		N:         g.N(),
+		Clusters:  []decomp.Cluster{{Members: members}},
+		ClusterOf: make([]int, g.N()),
+		Colors:    1,
+		Complete:  true,
+		Mode:      decomp.StrongDiameter,
+	}
+}
+
+func (b *blocker) run(ctx context.Context, g graph.Interface, cfg decomp.Config) (*decomp.Partition, error) {
+	if !b.armed.Load() {
+		return onePartition(b.name, g), nil
+	}
+	b.runs.Add(1)
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-b.release:
+		return onePartition(b.name, g), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// registerBlockerWorkload registers a small graph and a plan over the
+// blocker algorithm, returning their keys.
+func registerBlockerWorkload(t *testing.T, base, algo string) (gk, pk string) {
+	t.Helper()
+	var gi GraphInfo
+	if resp := postJSON(t, base+"/v1/graphs", GraphSpec{Family: "grid", N: 16, Seed: 1}, &gi); resp.StatusCode != 200 {
+		t.Fatalf("register graph: status %d", resp.StatusCode)
+	}
+	var pi PlanInfo
+	if resp := postJSON(t, base+"/v1/plans", PlanSpec{Algorithm: algo}, &pi); resp.StatusCode != 200 {
+		t.Fatalf("register plan: status %d", resp.StatusCode)
+	}
+	return gi.Fingerprint, pi.Plan
+}
+
+func seedOf(v uint64) *uint64 { return &v }
+
+// waitUntil polls cond for up to 2 seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionSaturation429 pins the gate semantics on the decompose
+// endpoint: one slot admits, one queue position waits, the next request
+// is answered 429 with a Retry-After header — and queued work completes
+// once the slot frees.
+func TestAdmissionSaturation429(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-sat")
+	s, ts := newTestServer(t, Options{Workers: 4, Resilience: resilience.Options{
+		Decompose: resilience.GateConfig{Slots: 1, Queue: 1, RetryAfter: 2 * time.Second},
+	}})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+
+	codes := make(chan int, 2)
+	for i := uint64(1); i <= 2; i++ {
+		go func(seed uint64) {
+			var dr DecomposeResponse
+			resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(seed)}, &dr)
+			codes <- resp.StatusCode
+		}(i)
+	}
+	<-b.started // the slot holder is executing
+	// Wait until the second request holds the single queue position: a
+	// probe with an expired context reports ErrSaturated exactly when the
+	// queue is full (it can neither admit nor reserve the queue).
+	waitUntil(t, "queue occupancy", func() bool {
+		expired, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := s.gov.Acquire(expired, resilience.ClassDecompose)
+		return errors.Is(err, resilience.ErrSaturated)
+	})
+
+	resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(3)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if s.cRejected.Value() == 0 {
+		t.Fatal("serve.rejected did not count the 429")
+	}
+
+	close(b.release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("admitted request %d: status %d, want 200", i, code)
+		}
+	}
+}
+
+// TestShedDegradedServesWarm pins graceful degradation: past the shed
+// watermark cold misses answer 429, while cache hits — which hold no
+// worker — keep serving.
+func TestShedDegradedServesWarm(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-shed")
+	s, ts := newTestServer(t, Options{Workers: 4, Resilience: resilience.Options{
+		ShedWatermark: 1,
+	}})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+	// Warm one key while healthy.
+	var warm PlanInfo
+	postJSON(t, ts.URL+"/v1/plans", PlanSpec{Algorithm: "elkin-neiman", ForceComplete: true}, &warm)
+	var dr DecomposeResponse
+	if resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: warm.Plan}, &dr); resp.StatusCode != 200 {
+		t.Fatalf("warming: status %d", resp.StatusCode)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk}, nil)
+		done <- resp.StatusCode
+	}()
+	<-b.started
+	waitUntil(t, "degraded flag", s.Degraded)
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Resilience == nil || !st.Resilience.Governor.Degraded {
+		t.Fatalf("stats resilience block = %+v, want degraded=true", st.Resilience)
+	}
+
+	// Cache hit: still served while degraded.
+	var hit DecomposeResponse
+	if resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: warm.Plan}, &hit); resp.StatusCode != 200 || !hit.CacheHit {
+		t.Fatalf("warm hit while degraded: status %d cacheHit %v, want 200 hit", resp.StatusCode, hit.CacheHit)
+	}
+	// Cold miss: shed.
+	resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: warm.Plan, Seed: seedOf(99)}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold miss while degraded: status %d, want 429", resp.StatusCode)
+	}
+	if s.cShed.Value() != 1 {
+		t.Fatalf("serve.shed = %d, want 1", s.cShed.Value())
+	}
+
+	close(b.release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request: status %d, want 200", code)
+	}
+	waitUntil(t, "recovery", func() bool { return !s.Degraded() })
+}
+
+// TestDrainReadyzAndAccounting pins graceful shutdown: StartDrain flips
+// /readyz to 503 and rejects new admissions with 503, Drain reports
+// completed vs abandoned, and already-admitted work still completes.
+func TestDrainReadyzAndAccounting(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-drain")
+	s, ts := newTestServer(t, Options{Workers: 2})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+
+	var ready map[string]string
+	if resp := getJSON(t, ts.URL+"/readyz", &ready); resp.StatusCode != 200 || ready["status"] != "ready" {
+		t.Fatalf("readyz before drain: %d %v", resp.StatusCode, ready)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk}, nil)
+		done <- resp.StatusCode
+	}()
+	<-b.started
+
+	completed, abandoned := s.Drain(50 * time.Millisecond)
+	if completed != 0 || abandoned != 1 {
+		t.Fatalf("Drain = (%d completed, %d abandoned), want (0, 1)", completed, abandoned)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &ready); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(2)}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("decompose while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/graphs", GraphSpec{Family: "gnp", N: 32, Seed: 9}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("register while draining: %d, want 503", resp.StatusCode)
+	}
+
+	// The admitted request still runs to completion.
+	close(b.release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, want 200", code)
+	}
+	if remaining := s.gov.WaitIdle(2 * time.Second); remaining != 0 {
+		t.Fatalf("WaitIdle after release: %d still in flight", remaining)
+	}
+}
+
+// TestDeadline504 pins server-side budget classification: a request
+// whose budget expires — via JSON field, header, or the server default —
+// answers 504 and counts in serve.deadline.timeouts.
+func TestDeadline504(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-deadline")
+	s, ts := newTestServer(t, Options{Workers: 2, Resilience: resilience.Options{
+		Deadline: resilience.DeadlinePolicy{Default: 10 * time.Second, Max: 10 * time.Second},
+	}})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+	defer close(b.release)
+
+	resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, DeadlineMs: 30}, nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("body deadline: status %d, want 504", resp.StatusCode)
+	}
+	// Header form: a fresh seed (the expired key cached nothing, but a new
+	// key proves the path without dedup interplay).
+	body := fmt.Sprintf(`{"graph":%q,"plan":%q,"seed":2}`, gk, pk)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/decompose", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Deadline-Ms", "30")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("header deadline: status %d, want 504", hresp.StatusCode)
+	}
+	if got := s.cTimeouts.Value(); got != 2 {
+		t.Fatalf("serve.deadline.timeouts = %d, want 2", got)
+	}
+}
+
+// TestClientCancel499 pins the other half of the classification: a
+// client that disconnects mid-execution counts as a client cancel, not a
+// timeout and not an unexplained 5xx.
+func TestClientCancel499(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-cancel")
+	s, ts := newTestServer(t, Options{Workers: 2})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+	defer close(b.release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := fmt.Sprintf(`{"graph":%q,"plan":%q}`, gk, pk)
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/decompose", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	<-b.started
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled request returned a response, want transport error")
+	}
+	waitUntil(t, "client-cancel accounting", func() bool { return s.cClientCancels.Value() >= 1 })
+	if s.cTimeouts.Value() != 0 {
+		t.Fatalf("serve.deadline.timeouts = %d, want 0 (this was a client cancel)", s.cTimeouts.Value())
+	}
+}
+
+// TestInstrumentPanicRecovery pins the middleware: a panicking handler
+// answers 500, counts in serve.handler.panics, and the server keeps
+// serving afterwards.
+func TestInstrumentPanicRecovery(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	h := s.instrument(func(http.ResponseWriter, *http.Request) { panic("boom") })
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/panic", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "panicked") {
+		t.Fatalf("panicking handler body = %q, want panic error document", rr.Body.String())
+	}
+	if s.cPanics.Value() != 1 {
+		t.Fatalf("serve.handler.panics = %d, want 1", s.cPanics.Value())
+	}
+	var hl map[string]string
+	if resp := getJSON(t, ts.URL+"/healthz", &hl); resp.StatusCode != 200 {
+		t.Fatalf("healthz after panic: %d", resp.StatusCode)
+	}
+}
+
+// TestSSEDisconnectReleasesSlot pins the streaming satellite: a client
+// that disconnects mid-stream releases its admission slot and SSE
+// observer immediately — the slot readmits new work while the abandoned
+// execution is still running.
+func TestSSEDisconnectReleasesSlot(t *testing.T) {
+	b := registerBlocker(t, "test/serve-blocker-sse")
+	s, ts := newTestServer(t, Options{Workers: 4, Resilience: resilience.Options{
+		Decompose: resilience.GateConfig{Slots: 1},
+	}})
+	gk, pk := registerBlockerWorkload(t, ts.URL, b.name)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := fmt.Sprintf(`{"graph":%q,"plan":%q}`, gk, pk)
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/decompose/stream", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_, err = resp.Body.Read(make([]byte, 1)) // block on the stream
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	<-b.started
+	waitUntil(t, "sse stream active", func() bool { return s.gSSEActive.Value() == 1 })
+	cancel()
+	<-errCh
+	// The slot and the stream release while the execution still blocks.
+	waitUntil(t, "sse slot release", func() bool {
+		return s.gSSEActive.Value() == 0 && s.gov.InFlight() == 0
+	})
+	if got := b.runs.Load(); got != 1 {
+		t.Fatalf("blocker runs = %d, want 1 (execution still owned by the session)", got)
+	}
+	// The freed slot admits new work immediately.
+	done := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(7)}, nil)
+		done <- resp.StatusCode
+	}()
+	waitUntil(t, "readmission", func() bool { return b.runs.Load() == 2 })
+	close(b.release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("readmitted request: status %d, want 200", code)
+	}
+}
+
+// TestFlushRetry pins the snapshot retry ladder: an injected flush fault
+// costs a backoff retry, not a lost snapshot; a persistent fault exhausts
+// the attempts and surfaces as a flush error.
+func TestFlushRetry(t *testing.T) {
+	inj := resilience.NewInjector(resilience.InjectorConfig{Seed: 1, FlushErrorRate: 1})
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Options{
+		Workers:    2,
+		StorePath:  filepath.Join(dir, "store.snap"),
+		Injector:   inj,
+		FlushRetry: resilience.Backoff{Attempts: 3, Base: time.Millisecond, Jitter: 0},
+	})
+	// The sleep seam heals the fault after the first failed attempt: the
+	// flush must succeed on attempt two and count one retry.
+	s.store.sleep = func(time.Duration) { inj.SetEnabled(false) }
+	if _, err := s.Flush(); err != nil {
+		t.Fatalf("flush with healing fault: %v", err)
+	}
+	if got := s.rec.Counter("serve.store.flush_retries").Value(); got != 1 {
+		t.Fatalf("flush_retries = %d, want 1", got)
+	}
+	if got := inj.Stats().FlushErrors; got != 1 {
+		t.Fatalf("injected flush errors = %d, want 1", got)
+	}
+
+	// A persistent fault exhausts all attempts.
+	inj.SetEnabled(true)
+	s.store.sleep = func(time.Duration) {}
+	if _, err := s.Flush(); err == nil {
+		t.Fatal("flush under persistent fault succeeded, want error")
+	}
+	if got := s.rec.Counter("serve.store.flush_retries").Value(); got != 3 {
+		t.Fatalf("flush_retries = %d, want 3 (1 + 2 more)", got)
+	}
+	if got := s.rec.Counter("serve.store.flush_errors").Value(); got != 1 {
+		t.Fatalf("flush_errors = %d, want 1", got)
+	}
+	inj.SetEnabled(false)
+}
+
+// TestChaosAcceptance is the ISSUE's acceptance scenario, scaled to test
+// time: prime a warm working set, then run mixed load through an episode
+// of injected latency spikes, decomposer errors, panics, and flush
+// faults. Warm hits must all succeed; cold misses may succeed, shed
+// (429), time out (504), or fail with an *explained* 5xx (the injected
+// fault's message); degradation must be observed during the episode and
+// must clear after it; and the post-episode snapshot must pass the
+// store's integrity verification.
+func TestChaosAcceptance(t *testing.T) {
+	inj := resilience.NewInjector(resilience.InjectorConfig{
+		Seed:           42,
+		LatencyRate:    1.0,
+		Latency:        20 * time.Millisecond,
+		ErrorRate:      0.10,
+		PanicRate:      0.10,
+		FlushErrorRate: 0.10,
+	})
+	inj.SetEnabled(false) // prime phase runs clean
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "chaos.snap")
+	s, ts := newTestServer(t, Options{
+		Workers:   4,
+		StorePath: storePath,
+		Injector:  inj,
+		Resilience: resilience.Options{
+			Decompose:     resilience.GateConfig{Slots: 4, Queue: 8},
+			ShedWatermark: 1,
+			Deadline:      resilience.DeadlinePolicy{Default: 5 * time.Second},
+		},
+		FlushRetry: resilience.Backoff{Attempts: 4, Base: time.Millisecond, Jitter: 0},
+	})
+	gk, pk := register(t, ts.URL)
+
+	// Prime: warm a working set of 4 seeds.
+	const warmSeeds = 4
+	for seed := uint64(1); seed <= warmSeeds; seed++ {
+		var dr DecomposeResponse
+		if resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(seed)}, &dr); resp.StatusCode != 200 {
+			t.Fatalf("priming seed %d: status %d", seed, resp.StatusCode)
+		}
+	}
+
+	// Episode: faults on, mixed warm and cold load.
+	inj.SetEnabled(true)
+	var (
+		sawDegraded atomic.Bool
+		violations  atomic.Int64
+		wg          sync.WaitGroup
+	)
+	stopWatch := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			if s.Degraded() {
+				sawDegraded.Store(true)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	const clients, perClient = 8, 8
+	var coldSeed atomic.Uint64
+	coldSeed.Store(1000)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if c%2 == 0 {
+					// Warm traffic: cache hits must survive every fault.
+					seed := uint64(1 + (c+i)%warmSeeds)
+					var dr DecomposeResponse
+					resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(seed)}, &dr)
+					if resp.StatusCode != 200 || !dr.CacheHit {
+						t.Errorf("warm hit during chaos: status %d cacheHit %v", resp.StatusCode, dr.CacheHit)
+						violations.Add(1)
+					}
+					continue
+				}
+				// Cold traffic: succeed, shed, time out, or fail explained.
+				var errDoc errorResponse
+				resp := postJSON(t, ts.URL+"/v1/decompose",
+					DecomposeRequest{Graph: gk, Plan: pk, Seed: seedOf(coldSeed.Add(1))}, &errDoc)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+				case http.StatusInternalServerError:
+					if !strings.Contains(errDoc.Error, "inject") && !strings.Contains(errDoc.Error, "panicked") {
+						t.Errorf("unexplained 500 during chaos: %q", errDoc.Error)
+						violations.Add(1)
+					}
+				default:
+					t.Errorf("cold request during chaos: unexpected status %d (%q)", resp.StatusCode, errDoc.Error)
+					violations.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopWatch)
+	if violations.Load() != 0 {
+		t.Fatalf("chaos episode: %d violations", violations.Load())
+	}
+	if !sawDegraded.Load() {
+		t.Fatal("degraded=true never observed during the episode")
+	}
+	st := inj.Stats()
+	if st.Latencies == 0 {
+		t.Fatal("no latency faults delivered — the episode did not exercise the injector")
+	}
+
+	// Recovery: faults off, load gone — the server must converge.
+	inj.SetEnabled(false)
+	waitUntil(t, "degraded to clear", func() bool { return !s.Degraded() && s.gov.InFlight() == 0 })
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Resilience == nil || stats.Resilience.Governor.Degraded {
+		t.Fatalf("post-episode stats: %+v, want degraded=false", stats.Resilience)
+	}
+	if stats.Session.ExecPanics == 0 && st.Panics > 0 {
+		t.Fatalf("injected %d panics but session counted none — isolation untested", st.Panics)
+	}
+	// The snapshot flushes (riding the retry ladder) and verifies.
+	n, err := s.Flush()
+	if err != nil {
+		t.Fatalf("post-episode flush: %v", err)
+	}
+	if n < warmSeeds {
+		t.Fatalf("flushed %d entries, want at least the %d warm keys", n, warmSeeds)
+	}
+	f, err := os.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := session.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("snapshot failed integrity verification: %v", err)
+	}
+	if len(snap.Entries) != n {
+		t.Fatalf("snapshot holds %d entries, flush reported %d", len(snap.Entries), n)
+	}
+}

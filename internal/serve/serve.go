@@ -31,10 +31,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -42,6 +44,7 @@ import (
 	"netdecomp/internal/graph"
 	"netdecomp/internal/graphio"
 	"netdecomp/internal/obs"
+	"netdecomp/internal/resilience"
 	"netdecomp/internal/session"
 )
 
@@ -61,6 +64,16 @@ type Options struct {
 	Recorder *obs.Recorder
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
+	// Resilience configures admission control, load shedding, and request
+	// deadlines (see internal/resilience). The zero value disables every
+	// limit — the pre-resilience serving behavior.
+	Resilience resilience.Options
+	// Injector, when set, injects deterministic faults into the session
+	// runner and the snapshot writer — the chaos harness's hook.
+	Injector *resilience.Injector
+	// FlushRetry shapes the snapshot-flush retry ladder (zero = defaults:
+	// 3 attempts, 25ms base, exponential with jitter).
+	FlushRetry resilience.Backoff
 }
 
 // graphEntry is one registered graph.
@@ -90,11 +103,20 @@ type Server struct {
 	store *persister // nil when persistence is disabled
 	mux   *http.ServeMux
 
+	gov      *resilience.Governor
+	injector *resilience.Injector // nil without fault injection
+
 	cRequests         *obs.Counter
 	cErrors           *obs.Counter
 	cSSEClients       *obs.Counter
 	cSSEDropped       *obs.Counter
 	cSSEDroppedEvents *obs.Counter
+	cRejected         *obs.Counter
+	cShed             *obs.Counter
+	cTimeouts         *obs.Counter
+	cClientCancels    *obs.Counter
+	cPanics           *obs.Counter
+	gSSEActive        *obs.Gauge
 	hRequest          *obs.Histogram
 	hDecompose        *obs.Histogram
 	hPipeline         *obs.Histogram
@@ -123,23 +145,37 @@ func New(opts Options) *Server {
 	if opts.CacheSize > 0 {
 		sopts = append(sopts, session.WithCacheSize(opts.CacheSize))
 	}
+	if opts.Injector != nil {
+		// The injector slots in as the session runner, under the cache and
+		// dedup machinery — injected faults behave exactly like decomposer
+		// faults, which is the point.
+		sopts = append(sopts, session.WithRunner(session.Runner(opts.Injector.WrapRunner(nil))))
+	}
 	s := &Server{
-		sess:   session.New(sopts...),
-		rec:    rec,
-		logf:   logf,
-		graphs: map[uint64]*graphEntry{},
-		plans:  map[uint64]*planEntry{},
+		sess:     session.New(sopts...),
+		rec:      rec,
+		logf:     logf,
+		graphs:   map[uint64]*graphEntry{},
+		plans:    map[uint64]*planEntry{},
+		gov:      resilience.NewGovernor(opts.Resilience, rec),
+		injector: opts.Injector,
 	}
 	s.cRequests = rec.Counter("serve.requests")
 	s.cErrors = rec.Counter("serve.errors")
 	s.cSSEClients = rec.Counter("serve.sse.clients")
 	s.cSSEDropped = rec.Counter("serve.sse.dropped_rounds")
 	s.cSSEDroppedEvents = rec.Counter("serve.sse.dropped_events")
+	s.cRejected = rec.Counter("serve.rejected")
+	s.cShed = rec.Counter("serve.shed")
+	s.cTimeouts = rec.Counter("serve.deadline.timeouts")
+	s.cClientCancels = rec.Counter("serve.client_cancels")
+	s.cPanics = rec.Counter("serve.handler.panics")
+	s.gSSEActive = rec.Gauge("serve.sse.active")
 	s.hRequest = rec.Histogram("serve.request.ns")
 	s.hDecompose = rec.Histogram("serve.decompose.ns")
 	s.hPipeline = rec.Histogram("serve.pipeline.ns")
 	if opts.StorePath != "" {
-		s.store = newPersister(s, opts.StorePath, opts.FlushInterval)
+		s.store = newPersister(s, opts.StorePath, opts.FlushInterval, opts.FlushRetry)
 		s.store.recover()
 		s.store.start()
 	}
@@ -177,11 +213,42 @@ func (s *Server) Flush() (int, error) {
 // Handler returns the server's HTTP handler (mount it on any listener).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Governor exposes the admission authority (drain state, degradation,
+// counters) — the daemon's shutdown path and tests drive it directly.
+func (s *Server) Governor() *resilience.Governor { return s.gov }
+
+// Injector returns the fault injector, nil when chaos is not configured.
+func (s *Server) Injector() *resilience.Injector { return s.injector }
+
+// StartDrain begins graceful shutdown: /readyz flips to 503 and every
+// admission — queued waiters included — fails with 503. Already-admitted
+// requests run to completion. Idempotent.
+func (s *Server) StartDrain() { s.gov.StartDrain() }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.gov.Draining() }
+
+// Degraded reports whether heavy in-flight work has crossed the shed
+// watermark (cold-miss work is being rejected; cache hits still serve).
+func (s *Server) Degraded() bool { return s.gov.Degraded() }
+
+// Drain performs the graceful-shutdown wait: stop admissions, give
+// in-flight requests up to timeout to finish, and report how many
+// completed versus how many are being abandoned. Call Close after to
+// flush the store.
+func (s *Server) Drain(timeout time.Duration) (completed, abandoned int) {
+	s.gov.StartDrain()
+	start := s.gov.InFlight()
+	abandoned = s.gov.WaitIdle(timeout)
+	return start - abandoned, abandoned
+}
+
 // routes wires the mux. Method-qualified patterns (Go 1.22 ServeMux) give
 // 405s for free.
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument(s.handleReady))
 	mux.HandleFunc("GET /v1/algorithms", s.instrument(s.handleAlgorithms))
 	mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleRegisterGraph))
 	mux.HandleFunc("GET /v1/graphs", s.instrument(s.handleListGraphs))
@@ -199,14 +266,25 @@ func (s *Server) routes() {
 	s.mux = mux
 }
 
-// instrument wraps a handler with the request counter and latency
-// histogram.
+// instrument wraps a handler with the request counter, the latency
+// histogram, and panic isolation: a handler that panics — a bug, an
+// injected fault that escaped deeper recovery — answers 500 and counts in
+// serve.handler.panics instead of killing the connection's goroutine with
+// a stack trace and, under http.Server defaults, leaving the client with
+// an aborted response. The process keeps serving.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.cRequests.Inc()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.cPanics.Inc()
+				s.logf("serve: handler %s %s panicked: %v", r.Method, r.URL.Path, rec)
+				s.fail(w, http.StatusInternalServerError, "internal error: handler panicked")
+			}
+			s.hRequest.Observe(time.Since(start).Nanoseconds())
+		}()
 		h(w, r)
-		s.hRequest.Observe(time.Since(start).Nanoseconds())
 	}
 }
 
@@ -229,6 +307,115 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the readiness probe: 200 while admitting, 503 once the
+// drain began — load balancers stop routing here before the listener
+// actually closes. Liveness (/healthz) stays 200 throughout the drain.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.gov.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// statusClientClosedRequest is nginx's 499: the client abandoned the
+// request before the server could answer. Distinct from 504 so operators
+// can tell "we were too slow" from "they stopped caring".
+const statusClientClosedRequest = 499
+
+// retryAfterSeconds renders a Retry-After header value, minimum 1s.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// admit acquires an admission slot for class c, answering the rejection
+// itself when the governor refuses: 429 + Retry-After on saturation, 503
+// + Retry-After while draining, 499 when the client gave up queued. On
+// true the caller must invoke the returned release when done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, c resilience.Class) (func(), bool) {
+	release, err := s.gov.Acquire(r.Context(), c)
+	if err == nil {
+		return release, true
+	}
+	switch {
+	case errors.Is(err, resilience.ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.gov.RetryAfter(c)))
+		s.fail(w, http.StatusServiceUnavailable, "draining: no new %s work admitted", c)
+	case errors.Is(err, resilience.ErrSaturated):
+		s.cRejected.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.gov.RetryAfter(c)))
+		s.fail(w, http.StatusTooManyRequests, "%s admission saturated, retry later", c)
+	default: // the client's ctx expired while queued
+		s.cClientCancels.Inc()
+		s.fail(w, statusClientClosedRequest, "abandoned while queued: %v", err)
+	}
+	return nil, false
+}
+
+// shedColdWork rejects cold-miss work while the server is degraded —
+// the request would execute a fresh decomposition and heavy in-flight is
+// already past the watermark. Cache hits never reach this check: the
+// degraded server keeps serving everything it already knows.
+func (s *Server) shedColdWork(w http.ResponseWriter, c resilience.Class) bool {
+	if !s.gov.Degraded() {
+		return false
+	}
+	s.cShed.Inc()
+	w.Header().Set("Retry-After", retryAfterSeconds(s.gov.RetryAfter(c)))
+	s.fail(w, http.StatusTooManyRequests, "degraded: shedding cold %s work (cache hits still served)", c)
+	return true
+}
+
+// requestDeadline extracts the client's requested budget: the JSON field
+// when positive, else the X-Deadline-Ms header. 0 = none requested (the
+// server default applies).
+func requestDeadline(r *http.Request, bodyMs int64) time.Duration {
+	ms := bodyMs
+	if ms <= 0 {
+		if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+			if v, err := strconv.ParseInt(h, 10, 64); err == nil {
+				ms = v
+			}
+		}
+	}
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// failExec classifies an execution error into the right status: 504 when
+// the server-side budget expired (the client is still there), 499 when
+// the client itself went away, 500 otherwise. Each class has its own
+// counter so "every 5xx has a cause" stays auditable.
+func (s *Server) failExec(w http.ResponseWriter, r *http.Request, err error, what string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		s.cTimeouts.Inc()
+		s.fail(w, http.StatusGatewayTimeout, "%s: deadline exceeded", what)
+	case r.Context().Err() != nil:
+		s.cClientCancels.Inc()
+		s.fail(w, statusClientClosedRequest, "%s: client cancelled: %v", what, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, "%s: %v", what, err)
+	}
+}
+
+// countExecErr is failExec's counter half for paths that already
+// committed a 200 (SSE streams): classify, count, no status write.
+func (s *Server) countExecErr(r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		s.cTimeouts.Inc()
+	case r.Context().Err() != nil:
+		s.cClientCancels.Inc()
+	}
+}
+
 func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"algorithms": decomp.Names(),
@@ -241,6 +428,11 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 // format. Registration is idempotent: the graph is keyed by its content
 // fingerprint, so re-registering returns the existing entry.
 func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, resilience.ClassRegister)
+	if !ok {
+		return
+	}
+	defer release()
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	var (
 		g    *graph.Graph
@@ -315,6 +507,11 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // configuration — re-registering an equivalent spec returns the existing
 // plan (keyed by PlanKey).
 func (s *Server) handleRegisterPlan(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, resilience.ClassRegister)
+	if !ok {
+		return
+	}
+	defer release()
 	var spec PlanSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&spec); err != nil {
 		s.fail(w, http.StatusBadRequest, "decoding plan spec: %v", err)
@@ -392,9 +589,10 @@ func (s *Server) resolve(req DecomposeRequest) (*graph.Graph, *decomp.Plan, erro
 	return ge.g, pl, nil
 }
 
-// handleDecompose is the synchronous serving path: resolve, ride the
-// session (cache hit, singleflight attach, or fresh execution), respond
-// with the stable partition document.
+// handleDecompose is the synchronous serving path: resolve, try the
+// cache-only read (a warm hit answers without admission — it holds no
+// worker and must survive saturation, degradation, and drain alike),
+// then shed/admit/deadline-bound the cold execution.
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	var req DecomposeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
@@ -407,10 +605,34 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	j := s.sess.Submit(r.Context(), pl, g)
+	if p, ok := s.sess.Peek(pl, g); ok {
+		lat := time.Since(start)
+		s.hDecompose.Observe(lat.Nanoseconds())
+		s.writeJSON(w, http.StatusOK, DecomposeResponse{
+			Graph:     keyString(g.Fingerprint()),
+			Plan:      keyString(pl.PlanKey()),
+			Seed:      pl.Seed(),
+			Algorithm: pl.Name(),
+			CacheHit:  true,
+			LatencyNs: lat.Nanoseconds(),
+			Partition: p,
+		})
+		return
+	}
+	if s.shedColdWork(w, resilience.ClassDecompose) {
+		return
+	}
+	release, ok := s.admit(w, r, resilience.ClassDecompose)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.gov.Deadline().Context(r.Context(), requestDeadline(r, req.DeadlineMs))
+	defer cancel()
+	j := s.sess.Submit(ctx, pl, g)
 	p, err := j.Wait()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "decompose: %v", err)
+		s.failExec(w, r, err, "decompose")
 		return
 	}
 	lat := time.Since(start)
@@ -443,7 +665,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.store != nil {
 		resp.Store = s.store.info()
 	}
+	resp.Resilience = s.resilienceInfo()
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// resilienceInfo assembles the /v1/stats resilience block.
+func (s *Server) resilienceInfo() *ResilienceInfo {
+	info := &ResilienceInfo{
+		Governor:      s.gov.Snapshot(),
+		Shed:          s.cShed.Value(),
+		Timeouts:      s.cTimeouts.Value(),
+		ClientCancels: s.cClientCancels.Value(),
+		HandlerPanics: s.cPanics.Value(),
+	}
+	if s.injector != nil {
+		st := s.injector.Stats()
+		info.Injector = &st
+		info.InjectorEnabled = s.injector.Enabled()
+	}
+	return info
 }
 
 func (s *Server) handleStoreFlush(w http.ResponseWriter, _ *http.Request) {

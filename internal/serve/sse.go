@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"netdecomp/internal/dist"
+	"netdecomp/internal/resilience"
 )
 
 // sseEventBuffer is the per-client event backlog shared by the decompose
@@ -45,7 +46,22 @@ type roundEvent struct {
 	Active   int   `json:"active"`
 }
 
-// handleDecomposeStream streams one decomposition over SSE.
+// startSSE commits the SSE response: headers, 200, first flush. After
+// this point errors travel as error events, not status codes.
+func startSSE(w http.ResponseWriter, flusher http.Flusher) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+}
+
+// handleDecomposeStream streams one decomposition over SSE. A warm hit
+// answers with just the result event and holds no admission slot; cold
+// work rides admission, shedding, and the request deadline like the
+// synchronous endpoint. A client that disconnects mid-stream releases
+// its slot (and its session waiter) immediately — the execution itself
+// keeps running for the cache and any deduplicated co-waiters.
 func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 	var req DecomposeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
@@ -62,12 +78,34 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
+	start := time.Now()
+	if p, hit := s.sess.Peek(pl, g); hit {
+		s.cSSEClients.Inc()
+		startSSE(w, flusher)
+		writeSSE(w, "result", DecomposeResponse{
+			Graph:     keyString(g.Fingerprint()),
+			Plan:      keyString(pl.PlanKey()),
+			Seed:      pl.Seed(),
+			Algorithm: pl.Name(),
+			CacheHit:  true,
+			LatencyNs: time.Since(start).Nanoseconds(),
+			Partition: p,
+		})
+		flusher.Flush()
+		return
+	}
+	if s.shedColdWork(w, resilience.ClassDecompose) {
+		return
+	}
+	release, ok := s.admit(w, r, resilience.ClassDecompose)
+	if !ok {
+		return
+	}
+	defer release()
 	s.cSSEClients.Inc()
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	s.gSSEActive.Add(1)
+	defer s.gSSEActive.Add(-1)
+	startSSE(w, flusher)
 
 	// The observer runs on the execution goroutine: non-blocking hand-off
 	// into a bounded channel, drop-and-count on overflow. The channel is
@@ -85,8 +123,9 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	start := time.Now()
-	j := s.sess.SubmitObserved(r.Context(), pl, g, observer)
+	ctx, cancel := s.gov.Deadline().Context(r.Context(), requestDeadline(r, req.DeadlineMs))
+	defer cancel()
+	j := s.sess.SubmitObserved(ctx, pl, g, observer)
 	done := j.Done()
 	for {
 		select {
@@ -94,7 +133,7 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 			s.writeSSERound(w, flusher, rs)
 			continue
 		case <-done:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 		}
 		break
 	}
@@ -110,6 +149,7 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := j.Wait()
 	if err != nil {
+		s.countExecErr(r, err)
 		writeSSE(w, "error", errorResponse{Error: err.Error()})
 		flusher.Flush()
 		return

@@ -1,0 +1,275 @@
+package session_test
+
+// Failure-isolation and degraded-read contracts of the session: panicking
+// executions become per-key errors instead of process crashes, WithRunner
+// slots execution middleware under the cache, Peek serves cache-only
+// reads, and deadline expiry resolves every deduplicated waiter without
+// poisoning the cache.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/session"
+)
+
+// bomb is a registrable decomposer that waits for release, then panics.
+// Registration is global and outlives the test (the golden-contract test
+// later executes every registered algorithm), so the bomb is disarmed at
+// test end and behaves as a well-formed deterministic decomposer after.
+type bomb struct {
+	name    string
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+	armed   atomic.Bool
+}
+
+func registerBomb(t *testing.T, name string) *bomb {
+	t.Helper()
+	b := &bomb{name: name, started: make(chan struct{}), release: make(chan struct{})}
+	b.armed.Store(true)
+	t.Cleanup(func() { b.armed.Store(false) })
+	decomp.Register(decomp.Func{AlgorithmName: name, Run: b.run})
+	return b
+}
+
+func (b *bomb) run(ctx context.Context, g graph.Interface, cfg decomp.Config) (*decomp.Partition, error) {
+	if !b.armed.Load() {
+		members := make([]int, g.N())
+		for v := range members {
+			members[v] = v
+		}
+		return &decomp.Partition{
+			Algorithm: b.name,
+			N:         g.N(),
+			Clusters:  []decomp.Cluster{{Members: members}},
+			ClusterOf: make([]int, g.N()),
+			Colors:    1,
+			Complete:  true,
+			Mode:      decomp.StrongDiameter,
+		}, nil
+	}
+	b.once.Do(func() { close(b.started) })
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	panic("decomposer bug: slice out of range")
+}
+
+// TestSessionExecPanicIsolated pins the failure-isolation contract: a
+// panicking decomposer resolves every waiter of the shared execution with
+// an error, counts in ExecPanics, caches nothing, and leaves the session
+// (and the process) fully serviceable.
+func TestSessionExecPanicIsolated(t *testing.T) {
+	b := registerBomb(t, "test/bomb-exec-panic")
+	g := gen.Grid(4, 4)
+	s := session.New(session.WithWorkers(2))
+	defer s.Close()
+	pl, err := decomp.Compile(b.name, decomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first := s.Submit(ctx, pl, g)
+	<-b.started
+	const extra = 3
+	jobs := make([]*session.Job, extra)
+	for i := range jobs {
+		jobs[i] = s.Submit(ctx, pl, g)
+	}
+	close(b.release)
+	for i, j := range append([]*session.Job{first}, jobs...) {
+		p, err := j.Wait()
+		if err == nil || p != nil {
+			t.Fatalf("waiter %d: p=%v err=%v, want execution-panic error", i, p, err)
+		}
+		if !strings.Contains(err.Error(), "execution panicked") {
+			t.Fatalf("waiter %d: err = %v, want execution-panic error", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.ExecPanics != 1 {
+		t.Fatalf("ExecPanics = %d, want 1 (one shared execution)", st.ExecPanics)
+	}
+	if st.Cached != 0 {
+		t.Fatalf("Cached = %d, want 0: a panicked execution must not cache", st.Cached)
+	}
+	// The session (and the worker that recovered) still serves real work.
+	okPl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(2), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, okPl, g); err != nil {
+		t.Fatalf("healthy run after panic: %v", err)
+	}
+}
+
+// TestSessionWithRunner pins the middleware seam: a custom runner is
+// invoked exactly once per execution (never per waiter, never on a cache
+// hit), and a panicking runner is isolated like a panicking decomposer.
+func TestSessionWithRunner(t *testing.T) {
+	g := gen.Grid(5, 5)
+	var mu sync.Mutex
+	calls := 0
+	s := session.New(session.WithRunner(func(ctx context.Context, pl *decomp.Plan, gr graph.Interface) (*decomp.Partition, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return pl.Run(ctx, gr)
+	}))
+	defer s.Close()
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(9), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, err := s.Run(ctx, pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Run(ctx, pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached result differs from the runner-produced one")
+	}
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("runner calls = %d, want 1 (cache hit must not re-run)", got)
+	}
+
+	boom := session.New(session.WithRunner(func(context.Context, *decomp.Plan, graph.Interface) (*decomp.Partition, error) {
+		panic("injected")
+	}))
+	defer boom.Close()
+	if _, err := boom.Run(ctx, pl, g); err == nil || !strings.Contains(err.Error(), "execution panicked") {
+		t.Fatalf("panicking runner err = %v, want execution-panic error", err)
+	}
+	if st := boom.Stats(); st.ExecPanics != 1 {
+		t.Fatalf("ExecPanics = %d, want 1", st.ExecPanics)
+	}
+}
+
+// TestSessionPeek pins the cache-only read path: a miss schedules nothing
+// and counts nothing, a hit clones and counts as a session hit.
+func TestSessionPeek(t *testing.T) {
+	g := gen.Grid(4, 4)
+	s := session.New()
+	defer s.Close()
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithSeed(4), decomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := s.Peek(pl, g); ok || p != nil {
+		t.Fatalf("Peek on cold cache = (%v, %v), want miss", p, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.InFlight != 0 {
+		t.Fatalf("stats after cold Peek = %+v, want all zero (no scheduling, no miss)", st)
+	}
+	want, err := s.Run(context.Background(), pl, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.Peek(pl, g)
+	if !ok {
+		t.Fatal("Peek after Run missed")
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatal("Peek result differs from the executed one")
+	}
+	// The clone is defensive: mutating it must not corrupt the cache.
+	p.Colors = -1
+	p2, _ := s.Peek(pl, g)
+	if p2.Colors == -1 {
+		t.Fatal("Peek returned a shared partition, want a clone")
+	}
+	if st := s.Stats(); st.Hits != 2 {
+		t.Fatalf("Hits = %d, want 2 (two Peek hits)", st.Hits)
+	}
+	if p, ok := s.Peek(nil, g); ok || p != nil {
+		t.Fatal("Peek(nil plan) must miss")
+	}
+	if p, ok := s.Peek(pl, nil); ok || p != nil {
+		t.Fatal("Peek(nil graph) must miss")
+	}
+}
+
+// TestSessionDeadlineExpiryAllWaiters is the cancellation-edge property
+// test: N waiters dedup onto one in-flight execution whose budget
+// expires; every waiter — the last one to abandon included — gets
+// context.DeadlineExceeded, the poisoned key caches nothing, and the next
+// submission of the same key executes fresh and succeeds.
+func TestSessionDeadlineExpiryAllWaiters(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		waiters := 2 + rng.Intn(4)
+		t.Run(fmt.Sprintf("trial%d_waiters%d", trial, waiters), func(t *testing.T) {
+			gt := registerGate(t, fmt.Sprintf("test/gate-deadline-%d", trial))
+			g := gen.Grid(4, 4)
+			s := session.New(session.WithWorkers(2))
+			defer s.Close()
+			pl, err := decomp.Compile(gt.name, decomp.WithSeed(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			first := s.Submit(ctx, pl, g)
+			<-gt.started // execution is in flight; everyone else dedups
+			jobs := []*session.Job{first}
+			for i := 1; i < waiters; i++ {
+				jobs = append(jobs, s.Submit(ctx, pl, g))
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, waiters)
+			for i, j := range jobs {
+				wg.Add(1)
+				go func(i int, j *session.Job) {
+					defer wg.Done()
+					_, errs[i] = j.Wait()
+				}(i, j)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("waiter %d: err = %v, want context.DeadlineExceeded", i, err)
+				}
+			}
+			st := s.Stats()
+			if st.Misses != 1 || st.Dedups != uint64(waiters-1) {
+				t.Fatalf("stats = %+v, want 1 miss and %d dedups", st, waiters-1)
+			}
+			if st.Cached != 0 {
+				t.Fatalf("Cached = %d, want 0: an expired execution must not cache", st.Cached)
+			}
+			// The doomed flight's cancellation drains the gate; a fresh
+			// submission of the same key must execute anew and succeed.
+			close(gt.release)
+			p, err := s.Run(context.Background(), pl, g)
+			if err != nil || p == nil {
+				t.Fatalf("fresh submission after expiry: p=%v err=%v", p, err)
+			}
+			if got := gt.runCount(); got != 2 {
+				t.Fatalf("gate ran %d times, want 2 (expired + fresh)", got)
+			}
+		})
+	}
+}

@@ -7,8 +7,8 @@ package session
 
 import "strconv"
 
-// MarshalJSON renders the stats with frozen field order:
-// hits, misses, dedups, evictions, observerPanics, inFlight, cached.
+// MarshalJSON renders the stats with frozen field order: hits, misses,
+// dedups, evictions, observerPanics, execPanics, inFlight, cached.
 func (st Stats) MarshalJSON() ([]byte, error) {
 	b := []byte{'{'}
 	field := func(name string, v uint64, last bool) {
@@ -24,6 +24,7 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 	field("dedups", st.Dedups, false)
 	field("evictions", st.Evictions, false)
 	field("observerPanics", st.ObserverPanics, false)
+	field("execPanics", st.ExecPanics, false)
 	field("inFlight", uint64(st.InFlight), false)
 	field("cached", uint64(st.Cached), true)
 	b = append(b, '}')

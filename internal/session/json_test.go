@@ -8,8 +8,8 @@ import (
 // TestStatsJSONStable pins the stats document: frozen field order, plain
 // integers, byte-diffable.
 func TestStatsJSONStable(t *testing.T) {
-	st := Stats{Hits: 5, Misses: 2, Dedups: 1, Evictions: 3, ObserverPanics: 0, InFlight: 4, Cached: 7}
-	const want = `{"hits":5,"misses":2,"dedups":1,"evictions":3,"observerPanics":0,"inFlight":4,"cached":7}`
+	st := Stats{Hits: 5, Misses: 2, Dedups: 1, Evictions: 3, ObserverPanics: 0, ExecPanics: 6, InFlight: 4, Cached: 7}
+	const want = `{"hits":5,"misses":2,"dedups":1,"evictions":3,"observerPanics":0,"execPanics":6,"inFlight":4,"cached":7}`
 	got, err := json.Marshal(st)
 	if err != nil {
 		t.Fatal(err)

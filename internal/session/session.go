@@ -77,6 +77,9 @@ type Stats struct {
 	// ObserverPanics counts observer callbacks that panicked during the
 	// round fan-out and were disabled (see SubmitObserved).
 	ObserverPanics uint64
+	// ExecPanics counts executions that panicked and were converted into
+	// per-key errors instead of crashing the process (see WithRunner).
+	ExecPanics uint64
 	// InFlight is the number of executions currently scheduled or running.
 	InFlight int
 	// Cached is the number of completed results currently held.
@@ -99,6 +102,23 @@ func WithCacheSize(n int) Option {
 	return func(s *Session) { s.cacheCap = n }
 }
 
+// Runner executes one compiled plan on one graph — the session's
+// execution primitive. The default runner is Plan.Run; WithRunner
+// replaces it, which is how the resilience layer's fault injector (and
+// any other execution middleware) slots under the cache and dedup
+// machinery: wrapped runs still dedup, still cache, still fan out
+// observers.
+type Runner func(ctx context.Context, pl *decomp.Plan, g graph.Interface) (*decomp.Partition, error)
+
+// WithRunner replaces the execution primitive (nil keeps Plan.Run). The
+// runner is invoked once per deduplicated execution, never per waiter,
+// and runs panic-isolated: a panicking runner — injected fault or real
+// decomposer bug — resolves that execution with an error for all its
+// waiters, counts in session.exec.panics, and leaves the process alive.
+func WithRunner(r Runner) Option {
+	return func(s *Session) { s.runner = r }
+}
+
 // WithRecorder makes the session report into an externally owned
 // telemetry recorder — typically obs.New(registry, tracer) shared with an
 // exposition endpoint, so session counters, latency histograms and job
@@ -115,21 +135,23 @@ func WithRecorder(rec *obs.Recorder) Option {
 type Session struct {
 	workers  int
 	cacheCap int
+	runner   Runner // nil = Plan.Run
 
 	// rec is the telemetry recorder; never nil after New. All session
 	// instruments below are resolved once at construction so the submit
 	// and execute paths never do a name lookup.
-	rec       *obs.Recorder
-	cHits     *obs.Counter
-	cMisses   *obs.Counter
-	cDedups   *obs.Counter
-	cEvicted  *obs.Counter
-	cPanics   *obs.Counter
-	gInflight *obs.Gauge
-	gCached   *obs.Gauge
-	hHit      *obs.Histogram
-	hMiss     *obs.Histogram
-	hDedup    *obs.Histogram
+	rec         *obs.Recorder
+	cHits       *obs.Counter
+	cMisses     *obs.Counter
+	cDedups     *obs.Counter
+	cEvicted    *obs.Counter
+	cPanics     *obs.Counter
+	cExecPanics *obs.Counter
+	gInflight   *obs.Gauge
+	gCached     *obs.Gauge
+	hHit        *obs.Histogram
+	hMiss       *obs.Histogram
+	hDedup      *obs.Histogram
 
 	wg sync.WaitGroup
 
@@ -204,6 +226,7 @@ func New(opts ...Option) *Session {
 	s.cDedups = s.rec.Counter("session.dedups")
 	s.cEvicted = s.rec.Counter("session.evictions")
 	s.cPanics = s.rec.Counter("session.observer.panics")
+	s.cExecPanics = s.rec.Counter("session.exec.panics")
 	s.gInflight = s.rec.Gauge("session.inflight")
 	s.gCached = s.rec.Gauge("session.cached")
 	s.hHit = s.rec.Histogram("session.hit.ns")
@@ -375,9 +398,35 @@ func (s *Session) Stats() Stats {
 		Dedups:         uint64(s.cDedups.Value()),
 		Evictions:      uint64(s.cEvicted.Value()),
 		ObserverPanics: uint64(s.cPanics.Value()),
+		ExecPanics:     uint64(s.cExecPanics.Value()),
 		InFlight:       len(s.inflight),
 		Cached:         s.order.Len(),
 	}
+}
+
+// Peek serves pl-on-g from the completed-result cache alone: a defensive
+// clone and true on a hit (counted as a session hit), nil and false
+// otherwise — no execution is scheduled, no dedup attach happens, and a
+// miss counts nothing. This is the degraded-mode read path: an
+// overloaded or draining server can keep answering everything it already
+// knows while admitting no new work.
+func (s *Session) Peek(pl *decomp.Plan, g graph.Interface) (*decomp.Partition, bool) {
+	if pl == nil || g == nil {
+		return nil, false
+	}
+	start := time.Now()
+	key := KeyFor(pl, g)
+	s.mu.Lock()
+	p, ok := s.cacheGet(key)
+	if ok {
+		s.cHits.Inc()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	s.hHit.Observe(time.Since(start).Nanoseconds())
+	return p.Clone(), true
 }
 
 // Recorder returns the session's telemetry recorder (never nil). Layers
@@ -438,7 +487,7 @@ func (s *Session) execute(fl *flight) {
 		if pl.Recorder() == nil {
 			pl = pl.WithRecorder(s.rec.Under(span))
 		}
-		p, err = pl.Run(fl.runCtx, fl.g)
+		p, err = s.runProtected(fl.runCtx, pl, fl.g)
 		span.End()
 	}
 	s.mu.Lock()
@@ -454,6 +503,24 @@ func (s *Session) execute(fl *flight) {
 	s.mu.Unlock()
 	fl.p, fl.err = p, err
 	close(fl.done)
+}
+
+// runProtected invokes the session's runner (default Plan.Run) with
+// panic isolation: a panicking execution — a decomposer bug, an injected
+// fault — becomes an error resolved to all the flight's waiters, counted
+// in session.exec.panics. Nothing caches, the worker survives, and the
+// process keeps serving.
+func (s *Session) runProtected(ctx context.Context, pl *decomp.Plan, g graph.Interface) (p *decomp.Partition, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cExecPanics.Inc()
+			p, err = nil, fmt.Errorf("session: execution panicked: %v", r)
+		}
+	}()
+	if s.runner != nil {
+		return s.runner(ctx, pl, g)
+	}
+	return pl.Run(ctx, g)
 }
 
 // broadcast fans one round record out to every attached observer,
