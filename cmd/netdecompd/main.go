@@ -35,6 +35,13 @@
 // quantiles (the numbers BENCH_serve.json records):
 //
 //	netdecompd -loadgen http://localhost:8080 -clients 8 -requests 512
+//
+// With -churn the mix includes graph mutation batches: a fraction of
+// requests POST random edge insertions/deletions to the current graph
+// version and swap the shared fingerprint for the returned one, so the
+// decompose traffic chases a moving graph through the versioned-key API:
+//
+//	netdecompd -loadgen http://localhost:8080 -churn 0.05 -churn-batch 4
 package main
 
 import (
@@ -92,6 +99,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	lgGraph := fs.String("graph", "", "with -loadgen: registered graph fingerprint (empty = register gnp n=1024 seed=1)")
 	lgPlan := fs.String("plan", "", "with -loadgen: registered plan key (empty = register elkin-neiman forced-complete)")
 	lgSeed := fs.Uint64("seed", 1, "with -loadgen: generator randomness seed")
+	churn := fs.Float64("churn", 0, "with -loadgen: fraction of requests that post a mutation batch to the current graph version (0 = static graph)")
+	churnBatch := fs.Int("churn-batch", 4, "with -loadgen -churn: mutations per batch")
+	churnN := fs.Int("churn-n", 0, "with -loadgen -churn: vertex-id bound for random mutations (0 = default workload's 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +116,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			ZipfS:         *zipfS,
 			FreshFraction: *fresh,
 			Seed:          *lgSeed,
+			ChurnFraction: *churn,
+			ChurnBatch:    *churnBatch,
+			ChurnN:        *churnN,
 		})
 	}
 	opts := serve.Options{

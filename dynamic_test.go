@@ -1,0 +1,74 @@
+package netdecomp_test
+
+import (
+	"context"
+	"testing"
+
+	netdecomp "netdecomp"
+)
+
+// TestDynamicFacade exercises the root-package dynamic-graph exports
+// end-to-end: overlay mutation, codec round trip, and a maintainer
+// update whose result matches a from-scratch run.
+func TestDynamicFacade(t *testing.T) {
+	g := netdecomp.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+
+	batch := netdecomp.MutationBatch{
+		{Op: netdecomp.OpInsert, U: 0, V: 5},
+		{Op: netdecomp.OpDelete, U: 2, V: 3},
+	}
+	data, err := netdecomp.EncodeMutations(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := netdecomp.DecodeMutations(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(batch) || decoded[0] != batch[0] || decoded[1] != batch[1] {
+		t.Fatalf("codec round trip: got %v want %v", decoded, batch)
+	}
+
+	next, res, err := netdecomp.WrapGraph(g).Apply(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Effective) != 2 {
+		t.Fatalf("effective = %d, want 2", len(res.Effective))
+	}
+	mutated := next.Compact()
+	if netdecomp.GraphFingerprint(mutated) == netdecomp.GraphFingerprint(g) {
+		t.Fatal("mutation did not change the fingerprint")
+	}
+
+	ctx := context.Background()
+	pl, err := netdecomp.Compile("elkin-neiman",
+		netdecomp.WithSeed(3), netdecomp.WithForceComplete())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := netdecomp.NewMaintainer(ctx, pl, g, netdecomp.MaintainerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, rep, err := m.Update(ctx, mutated, res.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired && !rep.FellBack && rep.Reason == "" {
+		t.Fatalf("update report carries no outcome: %+v", rep)
+	}
+	want, err := pl.Run(ctx, mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Colors != want.Colors || len(part.Clusters) != len(want.Clusters) {
+		t.Fatalf("maintained partition differs from scratch run: %d/%d colors, %d/%d clusters",
+			part.Colors, want.Colors, len(part.Clusters), len(want.Clusters))
+	}
+	for v := range part.ClusterOf {
+		if part.ClusterOf[v] != want.ClusterOf[v] {
+			t.Fatalf("ClusterOf[%d] = %d, want %d", v, part.ClusterOf[v], want.ClusterOf[v])
+		}
+	}
+}

@@ -253,6 +253,18 @@ func (p *phaseRunner) run(alive []bool, rounds int, emit func(msgs, words int64)
 // the departure notifications — mirroring the k+1 sub-round structure of
 // the engine execution.
 func (p *phaseRunner) runSparse(alive []bool, aliveList []int32, rounds int, emit func(msgs, words int64)) phaseResult {
+	return p.runSparseSeeded(alive, aliveList, rounds, emit, nil)
+}
+
+// runSparseSeeded is runSparse with optional preset initial states: when
+// preset returns ok for a listed vertex, that vertex starts the phase from
+// the returned top-two state instead of the usual reset-plus-own-radius
+// seeding, and broadcasts it from round 0. The repair path uses this to
+// freeze a region's boundary at the prior run's final states — a converged
+// state re-broadcast from round 0 reaches exactly the vertices its values'
+// ⌊·⌋ hop budgets allow, which (absent truncation) is the same set the
+// original timed arrivals reached.
+func (p *phaseRunner) runSparseSeeded(alive []bool, aliveList []int32, rounds int, emit func(msgs, words int64), preset func(v int32) (topTwo, bool)) phaseResult {
 	var res phaseResult
 	res.rounds = rounds
 
@@ -264,8 +276,12 @@ func (p *phaseRunner) runSparse(alive []bool, aliveList []int32, rounds int, emi
 	p.cAdj = p.cAdj[:0]
 	for _, v32 := range aliveList {
 		v := int(v32)
-		p.state[v].reset()
-		p.state[v].merge(v, p.radius[v])
+		if s, ok := presetState(preset, v32); ok {
+			p.state[v] = s
+		} else {
+			p.state[v].reset()
+			p.state[v].merge(v, p.radius[v])
+		}
 		p.dirty[v] = false
 		p.centers[v] = none
 		p.frontier = append(p.frontier, v32)
@@ -491,6 +507,14 @@ func (p *phaseRunner) roundParallel(res *phaseResult) {
 		next = append(next, sh.next...)
 	}
 	p.next = next
+}
+
+// presetState consults an optional preset hook (nil-safe).
+func presetState(preset func(v int32) (topTwo, bool), v int32) (topTwo, bool) {
+	if preset == nil {
+		return topTwo{}, false
+	}
+	return preset(v)
 }
 
 // countTruncations counts alive vertices whose draw meets or exceeds k+1 —

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+// applyChanges materializes a new CSR graph = g with the changes applied.
+// The reference mutation path for the repair tests — no overlay machinery,
+// just an edge-set rebuild.
+func applyChanges(g *graph.Graph, changes []EdgeChange) *graph.Graph {
+	edges := make(map[[2]int32]bool)
+	for u, v := range graph.EdgeSeq(g) {
+		edges[[2]int32{int32(u), int32(v)}] = true
+	}
+	for _, ch := range changes {
+		k := [2]int32{ch.U, ch.V}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if ch.Insert {
+			edges[k] = true
+		} else {
+			delete(edges, k)
+		}
+	}
+	b := graph.NewBuilder(g.N())
+	for k := range edges {
+		b.AddEdge(int(k[0]), int(k[1]))
+	}
+	return b.Build()
+}
+
+// randomChanges draws effective mutations against g: deletions of present
+// edges and insertions of absent ones, never no-ops.
+func randomChanges(rng *randx.SplitMix64, g *graph.Graph, count int) []EdgeChange {
+	present := make(map[[2]int32]bool)
+	for u, v := range graph.EdgeSeq(g) {
+		present[[2]int32{int32(u), int32(v)}] = true
+	}
+	var flat [][2]int32
+	for k := range present {
+		flat = append(flat, k)
+	}
+	// Map iteration order is random at runtime but the test must be
+	// reproducible: sort, then shuffle with the seeded rng.
+	for i := 1; i < len(flat); i++ {
+		for j := i; j > 0 && less(flat[j], flat[j-1]); j-- {
+			flat[j], flat[j-1] = flat[j-1], flat[j]
+		}
+	}
+	for i := len(flat) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		flat[i], flat[j] = flat[j], flat[i]
+	}
+
+	n := g.N()
+	changes := make([]EdgeChange, 0, count)
+	for len(changes) < count {
+		if len(flat) > 0 && rng.Intn(2) == 0 {
+			e := flat[len(flat)-1]
+			flat = flat[:len(flat)-1]
+			changes = append(changes, EdgeChange{U: e[0], V: e[1], Insert: false})
+			delete(present, e)
+			continue
+		}
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		k := [2]int32{u, v}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if present[k] {
+			continue
+		}
+		present[k] = true
+		changes = append(changes, EdgeChange{U: u, V: v, Insert: true})
+	}
+	return changes
+}
+
+func less(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// strippedDec zeroes the execution-account fields a repair is allowed to
+// differ on. Everything else — clusters, colors, phase history, survivor
+// counts, truncation events — must be bit-identical.
+func strippedDec(d *Decomposition) Decomposition {
+	cp := *d
+	cp.Rounds, cp.Messages, cp.MsgWords, cp.MaxMsgWords = 0, 0, 0, 0
+	cp.Trace = nil
+	return cp
+}
+
+func requireRepairEquivalent(t *testing.T, got, want *Decomposition, msg string) {
+	t.Helper()
+	g, w := strippedDec(got), strippedDec(want)
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: repaired decomposition differs from from-scratch run\n got: %+v\nwant: %+v", msg, g, w)
+	}
+}
+
+// TestRepairEquivalence is the core property: for every variant and radius
+// mode, Repair on (mutated graph, prior state, changes) equals RunWith from
+// scratch on the mutated graph, across chained mutation batches.
+func TestRepairEquivalence(t *testing.T) {
+	rng := randx.New(0x5eed)
+	opts := []Options{
+		{Variant: Theorem1, K: 4, C: 4, Seed: 11, ForceComplete: true},
+		{Variant: Theorem1, K: 4, C: 4, Seed: 11},
+		{Variant: Theorem2, K: 4, C: 8, Seed: 23, ForceComplete: true},
+		{Variant: Theorem3, K: 4, C: 4, Lambda: 2, Seed: 31, ForceComplete: true},
+		{Variant: Theorem1, K: 4, C: 4, Seed: 47, RadiusMode: RadiusExact, ForceComplete: true},
+	}
+	for _, o := range opts {
+		g := gen.GnpConnected(rng, 150, 0.03)
+		dec, st, err := RunRepairable(g, o)
+		if err != nil {
+			t.Fatalf("%v: RunRepairable: %v", o.Variant, err)
+		}
+		ref, err := Run(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRepairEquivalent(t, dec, ref, "bootstrap")
+
+		for round := 0; round < 3; round++ {
+			changes := randomChanges(rng, g, 1+rng.Intn(8))
+			g2 := applyChanges(g, changes)
+			got, st2, stats, err := Repair(g2, o, st, changes, RepairConfig{})
+			if err != nil {
+				t.Fatalf("variant %v round %d: %v", o.Variant, round, err)
+			}
+			want, err := Run(g2, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireRepairEquivalent(t, got, want, "repair")
+			if stats.TotalClusters != len(got.Clusters) {
+				t.Fatalf("TotalClusters=%d, clusters=%d", stats.TotalClusters, len(got.Clusters))
+			}
+			if stats.RepairedClusters > stats.TotalClusters {
+				t.Fatalf("RepairedClusters %d > TotalClusters %d", stats.RepairedClusters, stats.TotalClusters)
+			}
+			g, st = g2, st2
+		}
+	}
+}
+
+// TestRepairStateChaining pins that the state returned by Repair supports
+// further repairs indefinitely (state is self-renewing, not single-shot).
+func TestRepairStateChaining(t *testing.T) {
+	rng := randx.New(0xcafe)
+	o := Options{Variant: Theorem1, K: 4, C: 4, Seed: 7, ForceComplete: true}
+	g := gen.GnpConnected(rng, 120, 0.04)
+	_, st, err := RunRepairable(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		changes := randomChanges(rng, g, 2)
+		g2 := applyChanges(g, changes)
+		got, st2, _, err := Repair(g2, o, st, changes, RepairConfig{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want, err := Run(g2, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRepairEquivalent(t, got, want, "chained repair")
+		g, st = g2, st2
+	}
+}
+
+// TestRepairNilStateFallsBack: with no prior state the repair degrades to
+// a full recompute and reports why.
+func TestRepairNilStateFallsBack(t *testing.T) {
+	rng := randx.New(1)
+	o := Options{Variant: Theorem1, K: 3, C: 4, Seed: 5, ForceComplete: true}
+	g := gen.GnpConnected(rng, 60, 0.06)
+	dec, st, stats, err := Repair(g, o, nil, nil, RepairConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FellBack || stats.FallbackReason == "" {
+		t.Fatalf("expected fallback, got %+v", stats)
+	}
+	if st == nil {
+		t.Fatal("fallback must return fresh repair state")
+	}
+	want, err := Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRepairEquivalent(t, dec, want, "nil-state fallback")
+}
+
+// TestRepairDamageFractionFallback: a region cap below any real damage
+// forces the fallback, which still produces the exact answer.
+func TestRepairDamageFractionFallback(t *testing.T) {
+	rng := randx.New(2)
+	o := Options{Variant: Theorem1, K: 4, C: 4, Seed: 9, ForceComplete: true}
+	g := gen.GnpConnected(rng, 100, 0.05)
+	_, st, err := RunRepairable(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := randomChanges(rng, g, 10)
+	g2 := applyChanges(g, changes)
+	got, _, stats, err := Repair(g2, o, st, changes, RepairConfig{MaxDamageFraction: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FellBack {
+		t.Fatalf("expected damage-fraction fallback, got %+v", stats)
+	}
+	want, err := Run(g2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRepairEquivalent(t, got, want, "damage-fraction fallback")
+}
+
+// TestRepairValidatesChanges: malformed changes error out rather than
+// corrupting state.
+func TestRepairValidatesChanges(t *testing.T) {
+	rng := randx.New(3)
+	o := Options{Variant: Theorem1, K: 3, C: 4, Seed: 1, ForceComplete: true}
+	g := gen.GnpConnected(rng, 40, 0.08)
+	_, st, err := RunRepairable(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]EdgeChange{
+		{{U: -1, V: 2, Insert: true}},
+		{{U: 0, V: 40, Insert: true}},
+		{{U: 5, V: 5, Insert: false}},
+	}
+	for _, changes := range bad {
+		if _, _, _, err := Repair(g, o, st, changes, RepairConfig{}); err == nil {
+			t.Fatalf("Repair accepted malformed changes %+v", changes)
+		}
+	}
+}
+
+// TestNewRepairStateRequiresTrace: state can only be derived from a traced
+// run.
+func TestNewRepairStateRequiresTrace(t *testing.T) {
+	rng := randx.New(4)
+	o := Options{Variant: Theorem1, K: 3, C: 4, Seed: 1}
+	g := gen.GnpConnected(rng, 40, 0.08)
+	dec, err := Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepairState(dec); err == nil || !strings.Contains(err.Error(), "CaptureTrace") {
+		t.Fatalf("NewRepairState without trace: err %v", err)
+	}
+}
+
+// TestRunRepairableStripsTrace: the returned decomposition looks exactly
+// like a plain run (no trace attached, CaptureTrace not reported in Opts).
+func TestRunRepairableStripsTrace(t *testing.T) {
+	rng := randx.New(5)
+	o := Options{Variant: Theorem1, K: 3, C: 4, Seed: 1, ForceComplete: true}
+	g := gen.GnpConnected(rng, 50, 0.08)
+	dec, st, err := RunRepairable(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trace != nil {
+		t.Fatal("RunRepairable leaked the capture trace")
+	}
+	if dec.Opts.CaptureTrace {
+		t.Fatal("RunRepairable leaked CaptureTrace in Opts")
+	}
+	if st == nil {
+		t.Fatal("nil repair state")
+	}
+	want, err := Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRepairEquivalent(t, dec, want, "RunRepairable")
+}

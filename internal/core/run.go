@@ -33,6 +33,16 @@ type Exec struct {
 	// Workers caps the worker pool of the parallel mode; 0 or negative
 	// means GOMAXPROCS. Ignored unless Parallel is set.
 	Workers int
+	// phaseFinal, when non-nil, receives each phase's final top-two states
+	// (the runner's full state array, valid on aliveList entries, read-only,
+	// invalidated by the next phase) right after the phase's rounds run and
+	// before the join rule prunes the alive set, together with the phase's
+	// radius draws (same validity). The repair path captures these as the
+	// reference states incremental delta simulation replays and certifies
+	// against, plus the per-phase radius statistics it maintains
+	// incrementally; unexported because topTwo is an internal of the phase
+	// simulation.
+	phaseFinal func(phase int, aliveList []int32, state []topTwo, radius []float64)
 	// Recorder, when non-nil, reports the run into the telemetry layer:
 	// one span per phase (nested under the recorder's parent span, which
 	// decomp.Plan.Run roots at the plan span), the engine.* round counters
@@ -172,6 +182,9 @@ func RunWith(g graph.Interface, o Options, x Exec) (*Decomposition, error) {
 			rounds = maxFlooredRadiusSparse(aliveList, runner.radius)
 		}
 		res := runner.runSparse(alive, aliveList, rounds, emit)
+		if x.phaseFinal != nil {
+			x.phaseFinal(phase, aliveList, runner.state, runner.radius)
+		}
 
 		dec.Rounds += res.rounds
 		dec.Messages += res.messages

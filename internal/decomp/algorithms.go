@@ -40,25 +40,58 @@ func engineOptions(cfg Config) dist.Options {
 	}
 }
 
+// coreVariants maps the registry names that execute internal/core to their
+// theorem variants. The "/dist" alias is deliberately absent: it pins the
+// engine path, which the incremental repair hook below must not claim.
+var coreVariants = map[string]core.Variant{
+	"elkin-neiman":          core.Theorem1,
+	"elkin-neiman/theorem1": core.Theorem1,
+	"elkin-neiman/theorem2": core.Theorem2,
+	"elkin-neiman/theorem3": core.Theorem3,
+}
+
+// coreOptionsFor is the single Config→core.Options mapping, shared by the
+// elkinNeiman runner and Plan.CoreOptions so the repair path resolves the
+// exact options a from-scratch run would use.
+func coreOptionsFor(variant core.Variant, cfg Config) core.Options {
+	o := core.Options{
+		Variant:       variant,
+		K:             cfg.K,
+		Lambda:        cfg.Lambda,
+		C:             cfg.C,
+		Seed:          cfg.Seed,
+		PhaseBudget:   cfg.PhaseBudget,
+		ForceComplete: cfg.ForceComplete,
+	}
+	if variant == core.Theorem3 && o.Lambda == 0 {
+		o.Lambda = 2
+	}
+	if cfg.ExactRadius {
+		o.RadiusMode = core.RadiusExact
+	}
+	return o
+}
+
+// CoreOptions reports whether the plan executes the sequential
+// internal/core simulation and, if so, the exact core.Options a run
+// resolves to. Incremental maintenance (internal/dyn) uses it to drive
+// core.Repair with the same options a from-scratch Run would use; plans on
+// any other path — the engine-pinned "/dist" names, Engine-configured
+// specs, the non-Elkin–Neiman algorithms — report false and must be
+// recomputed in full on mutation.
+func (p *Plan) CoreOptions() (core.Options, bool) {
+	variant, ok := coreVariants[p.name]
+	if !ok || p.cfg.Engine {
+		return core.Options{}, false
+	}
+	return coreOptionsFor(variant, p.cfg), true
+}
+
 // elkinNeiman adapts both core execution paths. forceEngine pins the
 // engine path regardless of cfg.Engine (the "/dist" registry name).
 func elkinNeiman(variant core.Variant, forceEngine bool) func(context.Context, graph.Interface, Config) (*Partition, error) {
 	return func(ctx context.Context, g graph.Interface, cfg Config) (*Partition, error) {
-		o := core.Options{
-			Variant:       variant,
-			K:             cfg.K,
-			Lambda:        cfg.Lambda,
-			C:             cfg.C,
-			Seed:          cfg.Seed,
-			PhaseBudget:   cfg.PhaseBudget,
-			ForceComplete: cfg.ForceComplete,
-		}
-		if variant == core.Theorem3 && o.Lambda == 0 {
-			o.Lambda = 2
-		}
-		if cfg.ExactRadius {
-			o.RadiusMode = core.RadiusExact
-		}
+		o := coreOptionsFor(variant, cfg)
 		if forceEngine || cfg.Engine {
 			dec, metrics, err := core.RunDistributedWithMetrics(ctx, g, o, engineOptions(cfg))
 			if err != nil {

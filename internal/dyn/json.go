@@ -1,0 +1,100 @@
+package dyn
+
+// The wire codec for mutation batches — the body of the daemon's
+// POST /v1/graphs/{fp}/mutate. One document, stable field order:
+//
+//	{"mutations":[{"insert":{"u":1,"v":2}},{"delete":{"u":3,"v":4}}]}
+//
+// Decoding is strict: unknown fields are rejected, every entry must carry
+// exactly one op, both endpoints are required, and trailing garbage after
+// the document is an error. Malformed input errors, never panics
+// (FuzzMutationBatch pins this).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// batchDoc is the wire document.
+type batchDoc struct {
+	Mutations []entryDoc `json:"mutations"`
+}
+
+// entryDoc is one wire mutation: exactly one op key must be set.
+type entryDoc struct {
+	Insert *edgeDoc `json:"insert,omitempty"`
+	Delete *edgeDoc `json:"delete,omitempty"`
+}
+
+// edgeDoc is an undirected edge reference. Endpoints are pointers so a
+// missing field is distinguishable from vertex 0.
+type edgeDoc struct {
+	U *int32 `json:"u"`
+	V *int32 `json:"v"`
+}
+
+// EncodeBatch renders the batch in the wire form DecodeBatch accepts.
+func EncodeBatch(b Batch) ([]byte, error) {
+	doc := batchDoc{Mutations: make([]entryDoc, 0, len(b))}
+	for i, mut := range b {
+		e := edgeDoc{U: ptr(mut.U), V: ptr(mut.V)}
+		switch mut.Op {
+		case OpInsert:
+			doc.Mutations = append(doc.Mutations, entryDoc{Insert: &e})
+		case OpDelete:
+			doc.Mutations = append(doc.Mutations, entryDoc{Delete: &e})
+		default:
+			return nil, fmt.Errorf("dyn: mutation %d: unknown op %d", i, int(mut.Op))
+		}
+	}
+	return json.Marshal(doc)
+}
+
+func ptr(v int32) *int32 { return &v }
+
+// DecodeBatch parses one strict wire document from r. Structural
+// validation happens here (exactly one op per entry, both endpoints
+// present); semantic validation (range, self-loops) happens in
+// Overlay.Apply, which knows the vertex count.
+func DecodeBatch(r io.Reader) (Batch, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc batchDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dyn: decoding mutation batch: %w", err)
+	}
+	// One document per body: trailing content is an error, not ignored.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return nil, errors.New("dyn: trailing data after mutation batch")
+	}
+	b := make(Batch, 0, len(doc.Mutations))
+	for i, e := range doc.Mutations {
+		var (
+			op   Op
+			edge *edgeDoc
+		)
+		switch {
+		case e.Insert != nil && e.Delete != nil:
+			return nil, fmt.Errorf("dyn: mutation %d: both insert and delete set", i)
+		case e.Insert != nil:
+			op, edge = OpInsert, e.Insert
+		case e.Delete != nil:
+			op, edge = OpDelete, e.Delete
+		default:
+			return nil, fmt.Errorf("dyn: mutation %d: exactly one of insert/delete required", i)
+		}
+		if edge.U == nil || edge.V == nil {
+			return nil, fmt.Errorf("dyn: mutation %d: both u and v required", i)
+		}
+		b = append(b, Mutation{Op: op, U: *edge.U, V: *edge.V})
+	}
+	return b, nil
+}
+
+// DecodeBatchBytes is DecodeBatch over an in-memory document.
+func DecodeBatchBytes(data []byte) (Batch, error) {
+	return DecodeBatch(bytes.NewReader(data))
+}

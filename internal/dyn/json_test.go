@@ -1,0 +1,91 @@
+package dyn
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{
+		{Op: OpInsert, U: 1, V: 2},
+		{Op: OpDelete, U: 3, V: 4},
+		{Op: OpInsert, U: 0, V: 7},
+	}
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchBytes(data)
+	if err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip: got %+v, want %+v", got, b)
+	}
+}
+
+func TestEncodeBatchWireForm(t *testing.T) {
+	data, err := EncodeBatch(Batch{{Op: OpInsert, U: 1, V: 2}, {Op: OpDelete, U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"mutations":[{"insert":{"u":1,"v":2}},{"delete":{"u":3,"v":4}}]}`
+	if string(data) != want {
+		t.Fatalf("wire form %s, want %s", data, want)
+	}
+}
+
+func TestEncodeBatchUnknownOp(t *testing.T) {
+	if _, err := EncodeBatch(Batch{{Op: 9, U: 1, V: 2}}); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+}
+
+func TestDecodeBatchStrict(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage", `not json`, "decoding"},
+		{"unknown field", `{"mutations":[],"extra":1}`, "decoding"},
+		{"unknown op key", `{"mutations":[{"upsert":{"u":1,"v":2}}]}`, "decoding"},
+		{"no op", `{"mutations":[{}]}`, "exactly one"},
+		{"both ops", `{"mutations":[{"insert":{"u":1,"v":2},"delete":{"u":1,"v":2}}]}`, "both insert and delete"},
+		{"missing u", `{"mutations":[{"insert":{"v":2}}]}`, "both u and v required"},
+		{"missing v", `{"mutations":[{"delete":{"u":2}}]}`, "both u and v required"},
+		{"trailing data", `{"mutations":[]}{"mutations":[]}`, "trailing data"},
+		{"trailing token", `{"mutations":[]} 7`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBatchBytes([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeBatch(%s): err %v, want %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeBatchEmpty(t *testing.T) {
+	for _, in := range []string{`{}`, `{"mutations":[]}`, `{"mutations":null}`} {
+		b, err := DecodeBatchBytes([]byte(in))
+		if err != nil {
+			t.Fatalf("DecodeBatch(%s): %v", in, err)
+		}
+		if len(b) != 0 {
+			t.Fatalf("DecodeBatch(%s): %d mutations", in, len(b))
+		}
+	}
+}
+
+// TestDecodeBatchVertexZero pins that vertex 0 decodes (the missing-field
+// detection must not confuse an explicit 0 with absence).
+func TestDecodeBatchVertexZero(t *testing.T) {
+	b, err := DecodeBatchBytes([]byte(`{"mutations":[{"insert":{"u":0,"v":5}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || b[0].U != 0 || b[0].V != 5 || b[0].Op != OpInsert {
+		t.Fatalf("got %+v", b)
+	}
+}

@@ -1,0 +1,319 @@
+package dyn
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/dist"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/obs"
+	"netdecomp/internal/randx"
+)
+
+// stripped zeroes the fields a repair is allowed to differ on: Metrics is
+// the account of the producing execution, and a repair's own (much smaller)
+// traffic IS the speedup. Everything else must match bit-for-bit.
+func stripped(p *decomp.Partition) decomp.Partition {
+	cp := p.Clone()
+	cp.Metrics = dist.Metrics{}
+	return *cp
+}
+
+func requireEquivalent(t *testing.T, got, want *decomp.Partition, msg string) {
+	t.Helper()
+	g, w := stripped(got), stripped(want)
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: repaired partition differs from from-scratch run\n got: %+v\nwant: %+v", msg, g, w)
+	}
+}
+
+// maintainerPlans covers every repairable configuration class: all three
+// theorem regimes, the exact-radius mode, and forced completion.
+func maintainerPlans(t *testing.T) []*decomp.Plan {
+	t.Helper()
+	specs := []struct {
+		name string
+		opts []decomp.Option
+	}{
+		{"elkin-neiman", nil},
+		{"elkin-neiman", []decomp.Option{decomp.WithForceComplete()}},
+		{"elkin-neiman/theorem2", []decomp.Option{decomp.WithForceComplete()}},
+		{"elkin-neiman/theorem3", []decomp.Option{decomp.WithLambda(2), decomp.WithForceComplete()}},
+		{"elkin-neiman", []decomp.Option{decomp.WithExactRadius(), decomp.WithForceComplete()}},
+	}
+	pls := make([]*decomp.Plan, 0, len(specs))
+	for _, s := range specs {
+		pl, err := decomp.Compile(s.name, append(s.opts, decomp.WithSeed(0xd15ea5e))...)
+		if err != nil {
+			t.Fatalf("compile %s: %v", s.name, err)
+		}
+		pls = append(pls, pl)
+	}
+	return pls
+}
+
+// TestMaintainerBitEquivalence is the tentpole property: across algorithms,
+// random graphs, and successive random mutation batches, the repaired
+// partition equals a from-scratch run on the mutated graph in every field
+// except Metrics.
+func TestMaintainerBitEquivalence(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(0xbeef)
+	graphs := []struct {
+		name string
+		n    int
+		p    float64
+	}{
+		{"sparse", 96, 0.03},
+		{"medium", 128, 0.06},
+		{"dense", 64, 0.18},
+	}
+	for _, pl := range maintainerPlans(t) {
+		for _, gs := range graphs {
+			base := gen.GnpConnected(rng, gs.n, gs.p)
+			o := Wrap(base)
+			m, err := NewMaintainer(ctx, pl, o, Config{})
+			if err != nil {
+				t.Fatalf("%s/%s: NewMaintainer: %v", pl.Name(), gs.name, err)
+			}
+			if !m.Repairable() {
+				t.Fatalf("%s: expected repairable plan", pl.Name())
+			}
+			// Bootstrap itself must match a plain Run.
+			want, err := pl.Run(ctx, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEquivalent(t, m.Partition(), want, pl.Name()+"/"+gs.name+"/bootstrap")
+
+			model := modelOf(o)
+			for round := 0; round < 4; round++ {
+				batch := randomBatch(rng, model, gs.n, 1+rng.Intn(6))
+				next, res, err := o.Apply(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, mut := range batch {
+					model.apply(mut)
+				}
+				got, rep, err := m.Update(ctx, next, res.Effective)
+				if err != nil {
+					t.Fatalf("%s/%s round %d: Update: %v", pl.Name(), gs.name, round, err)
+				}
+				want, err := pl.Run(ctx, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEquivalent(t, got, want,
+					pl.Name()+"/"+gs.name)
+				if !rep.Repaired && !rep.FellBack {
+					t.Fatalf("%s: repairable plan neither repaired nor fell back: %+v", pl.Name(), rep)
+				}
+				o = next
+			}
+		}
+	}
+}
+
+// TestMaintainerEmptyBatch pins that an Update with no effective mutations
+// (all no-ops) still lands on the right graph version and partition.
+func TestMaintainerEmptyBatch(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(3)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete(), decomp.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(gen.GnpConnected(rng, 64, 0.08))
+	m, err := NewMaintainer(ctx, pl, o, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Partition()
+	// Insert an edge that already exists: a pure no-op batch.
+	u := int32(0)
+	v := o.Neighbors(0)[0]
+	next, res, err := o.Apply(Batch{{Op: OpInsert, U: u, V: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noops != 1 || len(res.Effective) != 0 {
+		t.Fatalf("expected pure no-op, got %+v", res)
+	}
+	got, rep, err := m.Update(ctx, next, res.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired {
+		t.Fatalf("no-op update should repair trivially: %+v", rep)
+	}
+	requireEquivalent(t, got, before, "no-op batch")
+	if m.Graph() != next {
+		t.Fatal("maintainer did not advance to the new graph version")
+	}
+}
+
+// TestMaintainerFallback forces the damage-fraction guard and checks the
+// fallback path still produces the from-scratch answer.
+func TestMaintainerFallback(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(17)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete(), decomp.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(gen.GnpConnected(rng, 80, 0.08))
+	// A fraction this small means any real damage overflows the region cap.
+	m, err := NewMaintainer(ctx, pl, o, Config{MaxDamageFraction: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := modelOf(o)
+	batch := randomBatch(rng, model, 80, 12)
+	next, res, err := o.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := m.Update(ctx, next, res.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Effective) > 0 && !rep.FellBack {
+		t.Fatalf("expected fallback under MaxDamageFraction=1e-9, got %+v", rep)
+	}
+	want, err := pl.Run(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, got, want, "fallback")
+	// A fallback refreshes the repair state: the next small update must be
+	// repairable again under a sane fraction... but this maintainer keeps
+	// the tiny fraction, so just verify continued correctness.
+	batch2 := randomBatch(rng, modelOf(next), 80, 2)
+	next2, res2, err := next.Apply(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := m.Update(ctx, next2, res2.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := pl.Run(ctx, next2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, got2, want2, "post-fallback")
+}
+
+// TestMaintainerNonRepairable pins the recompute path for plans off the
+// sequential core: updates still track the from-scratch answer.
+func TestMaintainerNonRepairable(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(29)
+	pl, err := decomp.Compile("mpx", decomp.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(gen.GnpConnected(rng, 64, 0.08))
+	m, err := NewMaintainer(ctx, pl, o, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Repairable() {
+		t.Fatal("mpx must not claim the repair path")
+	}
+	batch := randomBatch(rng, modelOf(o), 64, 6)
+	next, res, err := o.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := m.Update(ctx, next, res.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired || rep.FellBack {
+		t.Fatalf("non-repairable plan reported repair: %+v", rep)
+	}
+	want, err := pl.Run(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, got, want, "mpx recompute")
+}
+
+// TestMaintainerForceRecompute pins the benchmark baseline mode.
+func TestMaintainerForceRecompute(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(41)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete(), decomp.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(gen.GnpConnected(rng, 64, 0.08))
+	m, err := NewMaintainer(ctx, pl, o, Config{ForceRecompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Repairable() {
+		t.Fatal("ForceRecompute must disable the repair path")
+	}
+	batch := randomBatch(rng, modelOf(o), 64, 4)
+	next, res, err := o.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := m.Update(ctx, next, res.Effective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired || rep.Reason != "recompute forced" {
+		t.Fatalf("got %+v", rep)
+	}
+	want, err := pl.Run(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, got, want, "forced recompute")
+}
+
+// TestMaintainerTelemetry checks the dyn.repair.* instruments move.
+func TestMaintainerTelemetry(t *testing.T) {
+	ctx := context.Background()
+	rng := randx.New(53)
+	rec := obs.New(obs.NewRegistry(), nil)
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete(), decomp.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(gen.GnpConnected(rng, 64, 0.08))
+	m, err := NewMaintainer(ctx, pl, o, Config{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		batch := randomBatch(rng, modelOf(o), 64, 2)
+		next, res, err := o.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Update(ctx, next, res.Effective); err != nil {
+			t.Fatal(err)
+		}
+		o = next
+	}
+	repairs := rec.Counter("dyn.repair.repairs").Value()
+	fallbacks := rec.Counter("dyn.repair.fallbacks").Value()
+	if repairs+fallbacks != 3 {
+		t.Fatalf("repairs=%d fallbacks=%d, want 3 total", repairs, fallbacks)
+	}
+	if got := rec.Histogram("dyn.repair.clusters.total").Snapshot().Count; got != 3 {
+		t.Fatalf("dyn.repair.clusters.total count = %d, want 3", got)
+	}
+	nsCount := rec.Histogram("dyn.repair.ns").Snapshot().Count +
+		rec.Histogram("dyn.repair.recompute.ns").Snapshot().Count
+	if nsCount != 3 {
+		t.Fatalf("latency histogram count = %d, want 3", nsCount)
+	}
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // Components returns, for every vertex, the index of its connected
 // component (components are numbered 0..count-1 in order of their smallest
 // vertex), together with the number of components.
@@ -60,20 +62,44 @@ func (g *Graph) ComponentsRestricted(alive []bool) ([]int, int) {
 // It returns the components as slices of original vertex ids, each sorted
 // ascending, ordered by their first member in subset order.
 //
-// The subset is wrapped in a zero-copy View, so the cost is proportional
-// to the subset and its incident edges rather than to the whole graph.
+// The walk runs directly on g under a dense membership mask rather than
+// materializing an induced subgraph: the cost is one pass over the
+// subset's incident edges plus one zeroed byte per graph vertex, which
+// keeps the per-phase cluster extraction of a decomposition run cheap
+// even when it is called once per phase on small join sets.
 func ComponentsOfSubset(g Interface, subset []int) [][]int {
 	if len(subset) == 0 {
 		return nil
 	}
-	view := NewView(g, subset)
-	comp, count := Components(view)
-	comps := make([][]int, count)
-	for i, c := range comp {
-		comps[c] = append(comps[c], view.Orig(i))
+	// 0 = outside the subset, 1 = member not yet reached, 2 = reached.
+	state := make([]int8, g.N())
+	for _, v := range subset {
+		state[v] = 1
 	}
-	for _, members := range comps {
-		insertionSort(members)
+	var comps [][]int
+	queue := make([]int32, 0, 64)
+	for _, s := range subset {
+		if state[s] != 1 {
+			continue
+		}
+		state[s] = 2
+		queue = append(queue[:0], int32(s))
+		members := []int{s}
+		for head := 0; head < len(queue); head++ {
+			for _, w := range g.Neighbors(int(queue[head])) {
+				if state[w] == 1 {
+					state[w] = 2
+					queue = append(queue, w)
+					members = append(members, int(w))
+				}
+			}
+		}
+		if len(members) > 32 {
+			sort.Ints(members)
+		} else {
+			insertionSort(members)
+		}
+		comps = append(comps, members)
 	}
 	return comps
 }

@@ -24,18 +24,25 @@ func fnvWord(h, x uint64) uint64 {
 // it usable as a cache key for decomposition results and derived
 // structures. Distinct graphs collide with probability ~2⁻⁶⁴.
 //
-// *Graph and *View cache their digest, so repeated keying of the same
-// value costs O(1) after the first call; other backends are rehashed every
-// time.
+// Backends that keep their own digest cache expose it through a
+// Fingerprint() method — *Graph and *View do, as does dyn.Overlay (which
+// caches per immutable version) — and this function defers to it, so
+// repeated keying of the same value costs O(1) after the first call.
+// Other backends are rehashed every time. A backend's cached method must
+// honor the same contract as FingerprintUncached: equal (n, edge set) ⇒
+// equal digest, regardless of representation.
 func Fingerprint(g Interface) uint64 {
-	switch t := g.(type) {
-	case *Graph:
-		return t.Fingerprint()
-	case *View:
-		return t.Fingerprint()
+	if c, ok := g.(interface{ Fingerprint() uint64 }); ok {
+		return c.Fingerprint()
 	}
 	return fingerprintOf(g)
 }
+
+// FingerprintUncached recomputes the digest from the adjacency structure,
+// bypassing any backend cache. Mutable-overlay backends use it to compute
+// the digest of a fresh version without recursing into their own cached
+// Fingerprint method.
+func FingerprintUncached(g Interface) uint64 { return fingerprintOf(g) }
 
 // fingerprintOf is the uncached digest computation behind Fingerprint.
 func fingerprintOf(g Interface) uint64 {

@@ -116,6 +116,16 @@ func (g *Graph) EdgeSeq() iter.Seq2[int, int] { return EdgeSeq(g) }
 
 // Fingerprint returns the content digest of the graph (see the package
 // function Fingerprint). It is computed on first use and cached.
+//
+// The cache is sound only because Graph is immutable: nothing may change
+// offsets or neighbors after construction, so the digest of the adjacency
+// structure is fixed for the value's lifetime. Every layer that keys on
+// the fingerprint (the session cache, the serving registries, the
+// persistent store) relies on this contract. Mutable wrappers — such as
+// the edge overlay in internal/dyn — must therefore never alias this
+// cached digest: each mutated version is a distinct logical graph and
+// must carry its own fingerprint, recomputed from its own adjacency
+// (graph.FingerprintUncached), never inherited from the base.
 func (g *Graph) Fingerprint() uint64 {
 	// The digest of an immutable graph never changes; recomputing on the
 	// (extremely unlikely) sentinel collision is harmless, so a plain

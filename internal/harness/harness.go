@@ -193,6 +193,7 @@ func Experiments() []struct {
 		{"T12", "Skeleton spanners from decomposition", T12Spanners},
 		{"T13", "Sequential ball-carving yardstick", T13SequentialYardstick},
 		{"T14", "Registry head-to-head sweep", T14RegistryHeadToHead},
+		{"T15", "Dynamic churn repair vs recompute", T15ChurnRepair},
 		{"F1", "Survival fraction curve", F1SurvivalCurve},
 		{"F2", "Diameter/colors tradeoff frontier", F2TradeoffFrontier},
 		{"F3", "Rounds scaling at k = ceil(ln n)", F3RoundsScaling},

@@ -78,7 +78,41 @@ type GraphInfo struct {
 	// ("gnp(n=1024,seed=1)") or "upload".
 	Source string `json:"source"`
 	// Spec is the generator spec when the graph was registered by one.
+	// Mutated versions drop it — a spec no longer describes their content.
 	Spec *GraphSpec `json:"spec,omitempty"`
+	// Version counts the mutation batches between the originally registered
+	// graph and this content (0 = as registered); Parent is the fingerprint
+	// this version was mutated from.
+	Version uint64 `json:"version,omitempty"`
+	Parent  string `json:"parent,omitempty"`
+}
+
+// MutateResponse is the POST /v1/graphs/{fp}/mutate result: the batch's
+// effect and the new versioned key the graph now serves under.
+type MutateResponse struct {
+	// Previous is the fingerprint the batch addressed (now retired unless
+	// the batch was a content no-op); Fingerprint is the mutated content's
+	// key — the one subsequent decompose requests must use.
+	Previous    string `json:"previous"`
+	Fingerprint string `json:"fingerprint"`
+	// Version is the new entry's mutation-batch count since registration.
+	Version uint64 `json:"version"`
+	// N and M are the mutated graph's vertex and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Inserted/Deleted/Noops split the batch: effective insertions,
+	// effective deletions, and mutations the edge set already satisfied.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	Noops    int `json:"noops"`
+	// DeltaSize is the overlay's effective-mutation count over its base CSR
+	// (0 when Compacted — the history was just folded in).
+	DeltaSize int `json:"deltaSize,omitempty"`
+	// Compacted reports the overlay was re-materialized into a flat CSR.
+	Compacted bool `json:"compacted,omitempty"`
+	// InvalidatedEntries counts session-cache results dropped with the
+	// retired fingerprint.
+	InvalidatedEntries int `json:"invalidatedEntries"`
 }
 
 // PlanSpec is the JSON form of a decomposition configuration — the
@@ -149,6 +183,25 @@ type StatsResponse struct {
 	// Resilience reports admission, shedding, deadline, and fault-injection
 	// state.
 	Resilience *ResilienceInfo `json:"resilience,omitempty"`
+	// Mutations reports the graph-mutation subsystem (nil until the first
+	// batch).
+	Mutations *MutationInfo `json:"mutations,omitempty"`
+}
+
+// MutationInfo is the /v1/stats mutation block.
+type MutationInfo struct {
+	// Batches counts accepted mutation batches; Applied the effective edge
+	// changes; Noops the already-satisfied mutations; Compactions the
+	// overlay re-materializations; Invalidated the session-cache entries
+	// dropped with retired fingerprints.
+	Batches     int64 `json:"batches"`
+	Applied     int64 `json:"applied"`
+	Noops       int64 `json:"noops"`
+	Compactions int64 `json:"compactions"`
+	Invalidated int64 `json:"invalidated"`
+	// LastPrevious/LastFingerprint echo the most recent key swap.
+	LastPrevious    string `json:"lastPrevious,omitempty"`
+	LastFingerprint string `json:"lastFingerprint,omitempty"`
 }
 
 // ResilienceInfo is the /v1/stats resilience block: the governor's

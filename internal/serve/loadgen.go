@@ -44,6 +44,19 @@ type LoadOptions struct {
 	// Seed seeds the generator's own randomness; equal seeds replay the
 	// same request sequence per client.
 	Seed uint64
+	// ChurnFraction is the probability a request posts a mutation batch to
+	// the current graph version instead of decomposing (0 = static graph).
+	// Mutators serialize on a shared key: each batch addresses the newest
+	// fingerprint and swaps it for the returned one, so decomposes chase a
+	// moving graph exactly the way the versioned-key API intends — every
+	// swap retires the hot set until results for the new version land.
+	ChurnFraction float64
+	// ChurnBatch is the mutation count per churn batch (default 4).
+	ChurnBatch int
+	// ChurnN bounds the random endpoints of churn mutations; it should be
+	// the addressed graph's vertex count (default 1024, the default
+	// workload's).
+	ChurnN int
 }
 
 // withDefaults fills the zero values.
@@ -63,6 +76,12 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.FreshFraction < 0 || o.FreshFraction >= 1 {
 		o.FreshFraction = 0.05
 	}
+	if o.ChurnBatch <= 0 {
+		o.ChurnBatch = 4
+	}
+	if o.ChurnN <= 0 {
+		o.ChurnN = 1024
+	}
 	return o
 }
 
@@ -79,6 +98,15 @@ type LoadReport struct {
 	// requests per second over it.
 	ElapsedNs  int64   `json:"elapsedNs"`
 	Throughput float64 `json:"throughput"`
+	// Mutations counts churn batches applied (ChurnFraction > 0 only);
+	// MutateP50Ns/MutateP99Ns quantile their round trips. Stale counts
+	// decomposes that 404'd because a concurrent mutation retired the key
+	// they addressed — the versioned-key API's intended fail-loud outcome,
+	// a client re-resolves and retries rather than reading stale content.
+	Stale       int   `json:"stale,omitempty"`
+	Mutations   int   `json:"mutations,omitempty"`
+	MutateP50Ns int64 `json:"mutateP50Ns,omitempty"`
+	MutateP99Ns int64 `json:"mutateP99Ns,omitempty"`
 	// P50Ns/P99Ns quantile the full mix; WarmP50Ns/WarmP99Ns quantile only
 	// the cache-hit responses — the serving-path numbers CI gates.
 	P50Ns     int64 `json:"p50Ns"`
@@ -89,7 +117,7 @@ type LoadReport struct {
 
 // String renders the report the way cmd/netdecompd -loadgen prints it.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadgen  : %d requests / %d clients in %.2fs (%.0f req/s)\n"+
 			"mix      : %d hits, %d misses, %d errors\n"+
 			"latency  : p50=%s p99=%s (all) / p50=%s p99=%s (warm hits)",
@@ -97,6 +125,11 @@ func (r *LoadReport) String() string {
 		r.Hits, r.Misses, r.Errors,
 		time.Duration(r.P50Ns), time.Duration(r.P99Ns),
 		time.Duration(r.WarmP50Ns), time.Duration(r.WarmP99Ns))
+	if r.Mutations > 0 {
+		s += fmt.Sprintf("\nchurn    : %d mutation batches (p50=%s p99=%s), %d stale-key rejections",
+			r.Mutations, time.Duration(r.MutateP50Ns), time.Duration(r.MutateP99Ns), r.Stale)
+	}
+	return s
 }
 
 // RegisterDefaultWorkload registers the canonical loadgen workload — a
@@ -140,9 +173,20 @@ func postWorkloadJSON(ctx context.Context, url string, in, out any) error {
 
 // loadSample is one observed request.
 type loadSample struct {
-	ns  int64
-	hit bool
-	err bool
+	ns    int64
+	hit   bool
+	err   bool
+	mut   bool // a churn mutation batch, not a decompose
+	stale bool // decompose 404'd on a key a concurrent mutation retired
+}
+
+// churnKey is the mutators' shared view of the newest graph version.
+// The lock spans the whole mutate round trip: the versioned-key API
+// retires a fingerprint on every effective batch, so concurrent mutators
+// would race to address a key the other just retired.
+type churnKey struct {
+	mu  sync.Mutex
+	key string
 }
 
 // RunLoad replays the Zipf mix against the daemon at baseURL (e.g.
@@ -160,6 +204,7 @@ func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport,
 		wg      sync.WaitGroup
 	)
 	freshAt.Store(1 << 32) // fresh seeds live far above any hot-set seed
+	cur := &churnKey{key: opt.Graph}
 	samples := make([][]loadSample, opt.Clients)
 	client := &http.Client{}
 	start := time.Now()
@@ -170,11 +215,21 @@ func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport,
 			rng := rand.New(rand.NewPCG(opt.Seed, uint64(c)+1))
 			zipf := rand.NewZipf(rng, opt.ZipfS, 1, uint64(opt.Seeds-1))
 			for int(next.Add(1)) <= opt.Requests {
+				if opt.ChurnFraction > 0 && rng.Float64() < opt.ChurnFraction {
+					samples[c] = append(samples[c], doMutateRequest(ctx, client, baseURL, cur, opt, rng))
+					if ctx.Err() != nil {
+						return
+					}
+					continue
+				}
 				seed := zipf.Uint64()
 				if rng.Float64() < opt.FreshFraction {
 					seed = freshAt.Add(1)
 				}
-				samples[c] = append(samples[c], doLoadRequest(ctx, client, url, opt, seed))
+				cur.mu.Lock()
+				gk := cur.key
+				cur.mu.Unlock()
+				samples[c] = append(samples[c], doLoadRequest(ctx, client, url, opt, gk, seed))
 				if ctx.Err() != nil {
 					return
 				}
@@ -188,20 +243,25 @@ func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport,
 	}
 
 	rep := &LoadReport{Clients: opt.Clients, ElapsedNs: elapsed.Nanoseconds()}
-	var all, warm []int64
+	var all, warm, churn []int64
 	for _, cs := range samples {
 		for _, sm := range cs {
 			rep.Requests++
 			switch {
 			case sm.err:
 				rep.Errors++
+			case sm.stale:
+				rep.Stale++
+			case sm.mut:
+				rep.Mutations++
+				churn = append(churn, sm.ns)
 			case sm.hit:
 				rep.Hits++
 				warm = append(warm, sm.ns)
 			default:
 				rep.Misses++
 			}
-			if !sm.err {
+			if !sm.err && !sm.mut {
 				all = append(all, sm.ns)
 			}
 		}
@@ -209,12 +269,66 @@ func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport,
 	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	rep.P50Ns, rep.P99Ns = quantiles(all)
 	rep.WarmP50Ns, rep.WarmP99Ns = quantiles(warm)
+	rep.MutateP50Ns, rep.MutateP99Ns = quantiles(churn)
 	return rep, nil
 }
 
+// doMutateRequest posts one random mutation batch to the newest graph
+// version and swaps the shared key for the returned fingerprint. The lock
+// spans the round trip (see churnKey); on any error the key is left alone.
+func doMutateRequest(ctx context.Context, client *http.Client, baseURL string, cur *churnKey, opt LoadOptions, rng *rand.Rand) loadSample {
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	type edge struct {
+		U int32 `json:"u"`
+		V int32 `json:"v"`
+	}
+	type entry struct {
+		Insert *edge `json:"insert,omitempty"`
+		Delete *edge `json:"delete,omitempty"`
+	}
+	muts := make([]entry, 0, opt.ChurnBatch)
+	for len(muts) < opt.ChurnBatch {
+		u, v := rng.IntN(opt.ChurnN), rng.IntN(opt.ChurnN)
+		if u == v {
+			continue
+		}
+		e := &edge{U: int32(u), V: int32(v)}
+		if rng.IntN(2) == 0 {
+			muts = append(muts, entry{Insert: e})
+		} else {
+			muts = append(muts, entry{Delete: e})
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"mutations": muts})
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v1/graphs/"+cur.key+"/mutate", bytes.NewReader(body))
+	if err != nil {
+		return loadSample{err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return loadSample{err: true}
+	}
+	defer resp.Body.Close()
+	var mr struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&mr)
+	io.Copy(io.Discard, resp.Body)
+	ns := time.Since(t0).Nanoseconds()
+	if resp.StatusCode != http.StatusOK || decodeErr != nil || mr.Fingerprint == "" {
+		return loadSample{ns: ns, err: true}
+	}
+	cur.key = mr.Fingerprint
+	return loadSample{ns: ns, mut: true}
+}
+
 // doLoadRequest issues one decompose call and classifies the response.
-func doLoadRequest(ctx context.Context, client *http.Client, url string, opt LoadOptions, seed uint64) loadSample {
-	body, _ := json.Marshal(DecomposeRequest{Graph: opt.Graph, Plan: opt.Plan, Seed: &seed})
+func doLoadRequest(ctx context.Context, client *http.Client, url string, opt LoadOptions, graph string, seed uint64) loadSample {
+	body, _ := json.Marshal(DecomposeRequest{Graph: graph, Plan: opt.Plan, Seed: &seed})
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
@@ -232,6 +346,9 @@ func doLoadRequest(ctx context.Context, client *http.Client, url string, opt Loa
 	decodeErr := json.NewDecoder(resp.Body).Decode(&dr)
 	io.Copy(io.Discard, resp.Body)
 	ns := time.Since(t0).Nanoseconds()
+	if resp.StatusCode == http.StatusNotFound {
+		return loadSample{ns: ns, stale: true}
+	}
 	if resp.StatusCode != http.StatusOK || decodeErr != nil {
 		return loadSample{ns: ns, err: true}
 	}

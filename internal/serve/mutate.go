@@ -1,0 +1,138 @@
+package serve
+
+// The graph mutation endpoint: POST /v1/graphs/{fp}/mutate applies a batch
+// of edge insertions/deletions (internal/dyn wire codec) to a registered
+// graph and re-keys it under the mutated content's fingerprint.
+//
+// Graph keys are versioned by content: a mutation retires the old
+// fingerprint (the entry is removed and its session-cache results are
+// invalidated) and registers the new one, with Version/Parent in GraphInfo
+// recording the lineage. Clients follow the returned fingerprint for
+// subsequent decompose requests — a request against the retired key
+// answers 404, never a stale partition.
+//
+// Batches against one graph are serialized by optimistic concurrency: the
+// overlay is built outside the registry lock, and the swap re-checks that
+// the addressed entry is still current — a concurrent mutation of the same
+// key answers 409 and the client retries against the new fingerprint.
+//
+// Past compactDeltaThreshold effective mutations the overlay is folded
+// into a flat CSR graph before it is stored, so long mutation histories
+// never accumulate behind a serving key.
+
+import (
+	"net/http"
+
+	"netdecomp/internal/dyn"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/resilience"
+)
+
+// compactDeltaThreshold is the effective-mutation count past which a
+// mutated graph is re-materialized into a flat CSR before serving. Row
+// reads through the overlay's patch map cost one hash lookup; a few
+// hundred patched rows are noise, unbounded growth is not.
+const compactDeltaThreshold = 512
+
+// handleMutateGraph applies one mutation batch to a registered graph.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, resilience.ClassRegister)
+	if !ok {
+		return
+	}
+	defer release()
+	fp, err := parseKey(r.PathValue("fp"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch, err := dyn.DecodeBatch(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	entry, ok := s.graphs[fp]
+	s.mu.RUnlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, "graph %s not registered", keyString(fp))
+		return
+	}
+
+	// Apply and fingerprint outside the lock: the entry graph is immutable,
+	// and these are the expensive steps.
+	next, res, err := dyn.Wrap(entry.g).Apply(batch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cMutBatches.Inc()
+	s.cMutApplied.Add(int64(res.Inserted + res.Deleted))
+	s.cMutNoops.Add(int64(res.Noops))
+
+	resp := MutateResponse{
+		Previous: keyString(fp),
+		Inserted: res.Inserted,
+		Deleted:  res.Deleted,
+		Noops:    res.Noops,
+	}
+	if len(res.Effective) == 0 {
+		// Pure no-op batch: the content is unchanged, so the key, the entry,
+		// and every cached result stay exactly as they are.
+		resp.Fingerprint = keyString(fp)
+		resp.Version = entry.info.Version
+		resp.N, resp.M = entry.g.N(), graph.EdgeCount(entry.g)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var ng graph.Interface = next
+	if next.DeltaSize() >= compactDeltaThreshold {
+		ng = next.Compact()
+		resp.Compacted = true
+		s.cMutCompact.Inc()
+	} else {
+		resp.DeltaSize = next.DeltaSize()
+	}
+	newFP := graph.Fingerprint(ng)
+	resp.Fingerprint = keyString(newFP)
+	resp.N, resp.M = ng.N(), graph.EdgeCount(ng)
+
+	s.mu.Lock()
+	if cur, ok := s.graphs[fp]; !ok || cur != entry {
+		s.mu.Unlock()
+		s.fail(w, http.StatusConflict,
+			"graph %s was mutated concurrently; re-resolve and retry", keyString(fp))
+		return
+	}
+	if newFP == fp {
+		// The batch's effective mutations cancelled out (e.g. insert then
+		// delete of the same absent edge): same content, same key, no swap.
+		resp.Version = entry.info.Version
+		s.mu.Unlock()
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	info := GraphInfo{
+		Fingerprint: keyString(newFP),
+		N:           resp.N,
+		M:           resp.M,
+		Source:      entry.info.Source,
+		// Spec is dropped: a generator spec no longer describes the mutated
+		// content, so the persisted record falls back to the edge list.
+		Version: entry.info.Version + 1,
+		Parent:  keyString(fp),
+	}
+	delete(s.graphs, fp)
+	s.graphs[newFP] = &graphEntry{g: ng, info: info}
+	s.lastMutPrev, s.lastMutNew = keyString(fp), keyString(newFP)
+	s.rec.Gauge("serve.graphs").Set(int64(len(s.graphs)))
+	s.mu.Unlock()
+
+	// Narrow invalidation: only the retired fingerprint's cached results
+	// are dropped — every other graph's entries survive.
+	invalidated := s.sess.InvalidateGraph(fp)
+	s.cMutInvalid.Add(int64(invalidated))
+	resp.Version = info.Version
+	resp.InvalidatedEntries = invalidated
+	s.writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netdecomp/internal/dyn"
+	"netdecomp/internal/randx"
+)
+
+// postBatch posts a mutation batch against the graph key and decodes the
+// MutateResponse (any status).
+func postBatch(t *testing.T, base, graphKey string, b dyn.Batch, out *MutateResponse) *http.Response {
+	t.Helper()
+	data, err := dyn.EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/graphs/"+graphKey+"/mutate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding mutate response: %v", err)
+		}
+	}
+	return resp
+}
+
+// decompose posts exactly one decompose request and returns its document
+// and status — one request only, so cache hit/miss deltas stay exact.
+func decompose(t *testing.T, base, graphKey, planKey string, seed uint64) (DecomposeResponse, int) {
+	t.Helper()
+	var out DecomposeResponse
+	data, err := json.Marshal(DecomposeRequest{Graph: graphKey, Plan: planKey, Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/decompose", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding decompose response: %v", err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func TestMutateRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	gk, pk := register(t, ts.URL)
+
+	// Warm the cache on the original content.
+	p0, code := decompose(t, ts.URL, gk, pk, 1)
+	if code != 200 {
+		t.Fatalf("decompose: status %d", code)
+	}
+
+	// Mutate: delete one known edge of gnp(n=256,seed=5), insert a fresh one.
+	g := mustBuild(t, "gnp", 256, 5)
+	u, v := 0, int(g.Neighbors(0)[0])
+	var mr MutateResponse
+	if resp := postBatch(t, ts.URL, gk, dyn.Batch{
+		{Op: dyn.OpDelete, U: int32(u), V: int32(v)},
+	}, &mr); resp.StatusCode != 200 {
+		t.Fatalf("mutate: status %d", resp.StatusCode)
+	}
+	if mr.Deleted != 1 || mr.Inserted != 0 || mr.Noops != 0 {
+		t.Fatalf("mutate effect: %+v", mr)
+	}
+	if mr.Fingerprint == mr.Previous {
+		t.Fatal("mutation did not flip the fingerprint")
+	}
+	if mr.Version != 1 {
+		t.Fatalf("version = %d, want 1", mr.Version)
+	}
+
+	// The old key is retired: decompose and metadata answer 404.
+	if _, code := decompose(t, ts.URL, gk, pk, 1); code != http.StatusNotFound {
+		t.Fatalf("retired key served status %d, want 404", code)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/graphs/"+gk, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("retired key metadata status %d, want 404", resp.StatusCode)
+	}
+
+	// The new key serves the mutated content — and its partition differs
+	// from the pre-mutation one (the deleted edge changed the graph).
+	var gi GraphInfo
+	if resp := getJSON(t, ts.URL+"/v1/graphs/"+mr.Fingerprint, &gi); resp.StatusCode != 200 {
+		t.Fatalf("new key metadata status %d", resp.StatusCode)
+	}
+	if gi.Version != 1 || gi.Parent != gk {
+		t.Fatalf("lineage: %+v", gi)
+	}
+	p1, code := decompose(t, ts.URL, mr.Fingerprint, pk, 1)
+	if code != 200 {
+		t.Fatalf("decompose on new key: status %d", code)
+	}
+	if p1.Graph != mr.Fingerprint {
+		t.Fatalf("response graph %s, want %s", p1.Graph, mr.Fingerprint)
+	}
+	if p1.CacheHit {
+		t.Fatal("new content served from cache it was never in")
+	}
+	if fmt.Sprint(p0.Partition.ClusterOf) == fmt.Sprint(p1.Partition.ClusterOf) &&
+		len(p0.Partition.Clusters) == len(p1.Partition.Clusters) &&
+		p0.Partition.Colors == p1.Partition.Colors {
+		// Not impossible, but with a deleted edge at seed 1 on n=256 the
+		// partitions are expected to differ; treat equality as suspicious.
+		t.Log("warning: pre- and post-mutation partitions identical")
+	}
+
+	// /v1/stats reports the flip.
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Mutations == nil {
+		t.Fatal("stats missing mutation block")
+	}
+	if stats.Mutations.LastPrevious != gk || stats.Mutations.LastFingerprint != mr.Fingerprint {
+		t.Fatalf("stats flip: %+v", stats.Mutations)
+	}
+	if stats.Mutations.Batches != 1 || stats.Mutations.Applied != 1 {
+		t.Fatalf("stats counters: %+v", stats.Mutations)
+	}
+	_ = s
+}
+
+func TestMutateRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	gk, _ := register(t, ts.URL)
+
+	// Structurally bad JSON → 400.
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+gk+"/mutate", "application/json",
+		bytes.NewReader([]byte(`{"mutations":[{}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch: status %d, want 400", resp.StatusCode)
+	}
+	// Semantically bad (out of range) → 400, nothing swapped.
+	if resp := postBatch(t, ts.URL, gk, dyn.Batch{{Op: dyn.OpInsert, U: 0, V: 99999}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range batch: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown graph → 404.
+	if resp := postBatch(t, ts.URL, "00000000deadbeef", dyn.Batch{{Op: dyn.OpInsert, U: 0, V: 1}}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d, want 404", resp.StatusCode)
+	}
+	// The graph is still registered under its original key.
+	if resp := getJSON(t, ts.URL+"/v1/graphs/"+gk, nil); resp.StatusCode != 200 {
+		t.Fatalf("original key gone after rejected batches: %d", resp.StatusCode)
+	}
+}
+
+func TestMutateNoopBatchKeepsKey(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	gk, _ := register(t, ts.URL)
+	g := mustBuild(t, "gnp", 256, 5)
+	u, v := int32(0), g.Neighbors(0)[0]
+	var mr MutateResponse
+	if resp := postBatch(t, ts.URL, gk, dyn.Batch{{Op: dyn.OpInsert, U: u, V: v}}, &mr); resp.StatusCode != 200 {
+		t.Fatalf("noop batch: status %d", resp.StatusCode)
+	}
+	if mr.Noops != 1 || mr.Fingerprint != gk || mr.Version != 0 {
+		t.Fatalf("noop batch result: %+v", mr)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/graphs/"+gk, nil); resp.StatusCode != 200 {
+		t.Fatalf("key retired by a noop batch: %d", resp.StatusCode)
+	}
+}
+
+// TestMutateNeverServesStale is the satellite-3 property test: across a
+// churn of mutation batches interleaved with decomposes, a query after a
+// mutation never serves a partition computed on older content — pinned by
+// the session hit/miss deltas: the first decompose per (content, seed) is
+// always a miss, repeats without intervening mutation are always hits.
+func TestMutateNeverServesStale(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	gk, pk := register(t, ts.URL)
+	rng := randx.New(0xc0ffee)
+
+	key := gk
+	for round := 0; round < 6; round++ {
+		before := s.Session().Stats()
+		seed := uint64(round % 3)
+		p1, code := decompose(t, ts.URL, key, pk, seed)
+		if code != 200 {
+			t.Fatalf("round %d: decompose status %d", round, code)
+		}
+		mid := s.Session().Stats()
+		if mid.Misses != before.Misses+1 {
+			t.Fatalf("round %d: fresh content served without a miss (misses %d -> %d)",
+				round, before.Misses, mid.Misses)
+		}
+		// Repeat: must be a cache hit of the same content.
+		p2, _ := decompose(t, ts.URL, key, pk, seed)
+		after := s.Session().Stats()
+		if after.Hits < mid.Hits+1 {
+			t.Fatalf("round %d: repeat was not a hit (hits %d -> %d)", round, mid.Hits, after.Hits)
+		}
+		if after.Misses != mid.Misses {
+			t.Fatalf("round %d: repeat re-executed (misses %d -> %d)", round, mid.Misses, after.Misses)
+		}
+		if fmt.Sprint(p1.Partition.ClusterOf) != fmt.Sprint(p2.Partition.ClusterOf) {
+			t.Fatalf("round %d: cache returned a different partition", round)
+		}
+
+		// Mutate: flip one random edge (delete if we can name one present,
+		// else insert). The new fingerprint becomes the serving key.
+		var gi GraphInfo
+		getJSON(t, ts.URL+"/v1/graphs/"+key, &gi)
+		var mr MutateResponse
+		u := int32(rng.Intn(256))
+		w := int32(rng.Intn(256))
+		if u == w {
+			w = (u + 1) % 256
+		}
+		if resp := postBatch(t, ts.URL, key, dyn.Batch{{Op: dyn.OpInsert, U: u, V: w}}, &mr); resp.StatusCode != 200 {
+			t.Fatalf("round %d: mutate status %d", round, resp.StatusCode)
+		}
+		if mr.Noops == 1 {
+			// Edge existed: delete it instead so the content really changes.
+			if resp := postBatch(t, ts.URL, key, dyn.Batch{{Op: dyn.OpDelete, U: u, V: w}}, &mr); resp.StatusCode != 200 {
+				t.Fatalf("round %d: delete status %d", round, resp.StatusCode)
+			}
+		}
+		if mr.Fingerprint == key {
+			t.Fatalf("round %d: mutation kept the key", round)
+		}
+		// Old-fingerprint entries are unreachable through the API...
+		if _, code := decompose(t, ts.URL, key, pk, seed); code != http.StatusNotFound {
+			t.Fatalf("round %d: retired key status %d, want 404", round, code)
+		}
+		key = mr.Fingerprint
+	}
+}
+
+// TestMutateThroughRestart snapshots mid-churn and verifies the daemon
+// comes back serving only the current content version: the mutated graph
+// (with lineage), its cached results, and nothing under the retired keys.
+func TestMutateThroughRestart(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "nd.snap")
+
+	s1, ts1 := newTestServer(t, Options{Workers: 2, StorePath: store})
+	gk, pk := register(t, ts1.URL)
+
+	// Churn: decompose, mutate, decompose on the new key, snapshot.
+	if _, code := decompose(t, ts1.URL, gk, pk, 1); code != 200 {
+		t.Fatalf("decompose: %d", code)
+	}
+	g := mustBuild(t, "gnp", 256, 5)
+	var mr MutateResponse
+	if resp := postBatch(t, ts1.URL, gk, dyn.Batch{
+		{Op: dyn.OpDelete, U: 0, V: g.Neighbors(0)[0]},
+	}, &mr); resp.StatusCode != 200 {
+		t.Fatalf("mutate: %d", resp.StatusCode)
+	}
+	warm, code := decompose(t, ts1.URL, mr.Fingerprint, pk, 1)
+	if code != 200 {
+		t.Fatalf("decompose on mutated key: %d", code)
+	}
+	if _, err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot on the same store.
+	s2 := New(Options{Workers: 2, StorePath: store})
+	defer s2.Close()
+	ts2 := newHTTPServer(t, s2)
+
+	// The mutated version survived with its lineage; the retired key did not.
+	var gi GraphInfo
+	if resp := getJSON(t, ts2.URL+"/v1/graphs/"+mr.Fingerprint, &gi); resp.StatusCode != 200 {
+		t.Fatalf("mutated graph lost across restart: %d", resp.StatusCode)
+	}
+	if gi.Version != 1 || gi.Parent != gk {
+		t.Fatalf("lineage lost across restart: %+v", gi)
+	}
+	if resp := getJSON(t, ts2.URL+"/v1/graphs/"+gk, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("retired key resurrected: %d", resp.StatusCode)
+	}
+
+	// The mutated content's cached result is warm (hit, same partition);
+	// nothing under the retired fingerprint can be reached at all.
+	before := s2.Session().Stats()
+	p, code := decompose(t, ts2.URL, mr.Fingerprint, pk, 1)
+	if code != 200 {
+		t.Fatalf("post-restart decompose: %d", code)
+	}
+	after := s2.Session().Stats()
+	if !p.CacheHit || after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("restored result not served warm: hit=%v stats %+v -> %+v", p.CacheHit, before, after)
+	}
+	if fmt.Sprint(p.Partition.ClusterOf) != fmt.Sprint(warm.Partition.ClusterOf) {
+		t.Fatal("restored partition differs from pre-restart result")
+	}
+	if _, code := decompose(t, ts2.URL, gk, pk, 1); code != http.StatusNotFound {
+		t.Fatalf("retired key served after restart: %d", code)
+	}
+}
+
+// TestMutateCompaction crosses the delta threshold and checks the entry is
+// folded flat (Compacted reported, fingerprint still content-true).
+func TestMutateCompaction(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	var gi GraphInfo
+	// A path graph is easy to reason about and cheap to mutate heavily.
+	if resp := postJSON(t, ts.URL+"/v1/graphs", GraphSpec{Family: "path", N: 2048, Seed: 1}, &gi); resp.StatusCode != 200 {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	key := gi.Fingerprint
+	// One batch inserting compactDeltaThreshold fresh chords crosses the
+	// threshold in a single mutation.
+	b := make(dyn.Batch, 0, compactDeltaThreshold)
+	for i := 0; i < compactDeltaThreshold; i++ {
+		b = append(b, dyn.Mutation{Op: dyn.OpInsert, U: int32(i), V: int32(i + 1024)})
+	}
+	var mr MutateResponse
+	if resp := postBatch(t, ts.URL, key, b, &mr); resp.StatusCode != 200 {
+		t.Fatalf("mutate: %d", resp.StatusCode)
+	}
+	if !mr.Compacted {
+		t.Fatalf("expected compaction at delta %d: %+v", compactDeltaThreshold, mr)
+	}
+	if mr.DeltaSize != 0 {
+		t.Fatalf("compacted entry still reports delta %d", mr.DeltaSize)
+	}
+	if mr.M != 2047+compactDeltaThreshold {
+		t.Fatalf("edge count %d", mr.M)
+	}
+	// The compacted entry serves under its content fingerprint.
+	if resp := getJSON(t, ts.URL+"/v1/graphs/"+mr.Fingerprint, nil); resp.StatusCode != 200 {
+		t.Fatalf("compacted key not served: %d", resp.StatusCode)
+	}
+}
+
+// newHTTPServer mounts an existing Server on httptest (the restart test
+// builds the Server itself to control Close ordering).
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

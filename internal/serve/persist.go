@@ -42,7 +42,11 @@ type graphRecord struct {
 	Source      string
 	Spec        *GraphSpec
 	N           int
-	Edges       []int32 // uploads only: flat (u,v) pairs
+	Edges       []int32 // uploads and mutated versions: flat (u,v) pairs
+	// Version/Parent carry the mutation lineage of versioned graph keys
+	// (see mutate.go); zero values for as-registered graphs.
+	Version uint64
+	Parent  string
 }
 
 // serveMeta is the registry payload carried in Snapshot.Meta.
@@ -193,8 +197,11 @@ func (s *Server) encodeMeta() ([]byte, error) {
 		Plans:  make([]PlanSpec, 0, len(s.plans)),
 	}
 	for fp, e := range s.graphs {
-		rec := graphRecord{Fingerprint: fp, Source: e.info.Source, Spec: e.info.Spec, N: e.g.N()}
+		rec := graphRecord{Fingerprint: fp, Source: e.info.Source, Spec: e.info.Spec, N: e.g.N(),
+			Version: e.info.Version, Parent: e.info.Parent}
 		if e.info.Spec == nil {
+			// Uploads and mutated versions persist by content: the flat edge
+			// list is the only faithful record once no spec describes them.
 			rec.Edges = flattenEdges(e.g)
 		}
 		m.Graphs = append(m.Graphs, rec)
@@ -242,7 +249,7 @@ func (s *Server) restoreMeta(meta []byte) error {
 			continue
 		}
 		info := GraphInfo{Fingerprint: keyString(rec.Fingerprint), N: g.N(), M: graph.EdgeCount(g),
-			Source: rec.Source, Spec: rec.Spec}
+			Source: rec.Source, Spec: rec.Spec, Version: rec.Version, Parent: rec.Parent}
 		s.mu.Lock()
 		s.graphs[rec.Fingerprint] = &graphEntry{g: g, info: info}
 		s.mu.Unlock()

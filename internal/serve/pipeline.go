@@ -99,7 +99,7 @@ type stageEvent struct {
 }
 
 // resolvePipeline decodes, validates and resolves a pipeline request.
-func (s *Server) resolvePipeline(w http.ResponseWriter, r *http.Request) (*graph.Graph, *pipeline.Pipeline, string, int64, bool) {
+func (s *Server) resolvePipeline(w http.ResponseWriter, r *http.Request) (graph.Interface, *pipeline.Pipeline, string, int64, bool) {
 	var req PipelineRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 	if err := dec.Decode(&req); err != nil {

@@ -76,9 +76,12 @@ type Options struct {
 	FlushRetry resilience.Backoff
 }
 
-// graphEntry is one registered graph.
+// graphEntry is one registered graph. The graph is held behind the
+// interface so an entry can be a flat CSR *graph.Graph (registration,
+// recovery, post-compaction) or a *dyn.Overlay version produced by the
+// mutation endpoint — both immutable once stored.
 type graphEntry struct {
-	g    *graph.Graph
+	g    graph.Interface
 	info GraphInfo
 }
 
@@ -99,6 +102,11 @@ type Server struct {
 	mu     sync.RWMutex
 	graphs map[uint64]*graphEntry
 	plans  map[uint64]*planEntry
+	// lastMutPrev/lastMutNew record the most recent mutation swap (old and
+	// new fingerprint, API form) for /v1/stats — the serve-smoke round trip
+	// asserts the flip here. Guarded by mu.
+	lastMutPrev string
+	lastMutNew  string
 
 	store *persister // nil when persistence is disabled
 	mux   *http.ServeMux
@@ -116,6 +124,11 @@ type Server struct {
 	cTimeouts         *obs.Counter
 	cClientCancels    *obs.Counter
 	cPanics           *obs.Counter
+	cMutBatches       *obs.Counter
+	cMutApplied       *obs.Counter
+	cMutNoops         *obs.Counter
+	cMutCompact       *obs.Counter
+	cMutInvalid       *obs.Counter
 	gSSEActive        *obs.Gauge
 	hRequest          *obs.Histogram
 	hDecompose        *obs.Histogram
@@ -170,6 +183,11 @@ func New(opts Options) *Server {
 	s.cTimeouts = rec.Counter("serve.deadline.timeouts")
 	s.cClientCancels = rec.Counter("serve.client_cancels")
 	s.cPanics = rec.Counter("serve.handler.panics")
+	s.cMutBatches = rec.Counter("serve.mutations.batches")
+	s.cMutApplied = rec.Counter("serve.mutations.applied")
+	s.cMutNoops = rec.Counter("serve.mutations.noops")
+	s.cMutCompact = rec.Counter("serve.mutations.compactions")
+	s.cMutInvalid = rec.Counter("serve.mutations.invalidated")
 	s.gSSEActive = rec.Gauge("serve.sse.active")
 	s.hRequest = rec.Histogram("serve.request.ns")
 	s.hDecompose = rec.Histogram("serve.decompose.ns")
@@ -253,6 +271,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleRegisterGraph))
 	mux.HandleFunc("GET /v1/graphs", s.instrument(s.handleListGraphs))
 	mux.HandleFunc("GET /v1/graphs/{fp}", s.instrument(s.handleGetGraph))
+	mux.HandleFunc("POST /v1/graphs/{fp}/mutate", s.instrument(s.handleMutateGraph))
 	mux.HandleFunc("POST /v1/plans", s.instrument(s.handleRegisterPlan))
 	mux.HandleFunc("GET /v1/plans", s.instrument(s.handleListPlans))
 	mux.HandleFunc("GET /v1/plans/{key}", s.instrument(s.handleGetPlan))
@@ -563,7 +582,7 @@ func (s *Server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
 
 // resolve looks up the graph and plan a decompose request addresses and
 // applies the seed override.
-func (s *Server) resolve(req DecomposeRequest) (*graph.Graph, *decomp.Plan, error) {
+func (s *Server) resolve(req DecomposeRequest) (graph.Interface, *decomp.Plan, error) {
 	fp, err := parseKey(req.Graph)
 	if err != nil {
 		return nil, nil, fmt.Errorf("graph: %w", err)
@@ -609,7 +628,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		lat := time.Since(start)
 		s.hDecompose.Observe(lat.Nanoseconds())
 		s.writeJSON(w, http.StatusOK, DecomposeResponse{
-			Graph:     keyString(g.Fingerprint()),
+			Graph:     keyString(graph.Fingerprint(g)),
 			Plan:      keyString(pl.PlanKey()),
 			Seed:      pl.Seed(),
 			Algorithm: pl.Name(),
@@ -651,6 +670,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	ngraphs, nplans := len(s.graphs), len(s.plans)
+	lastPrev, lastNew := s.lastMutPrev, s.lastMutNew
 	s.mu.RUnlock()
 	resp := StatsResponse{
 		Session: s.sess.Stats(),
@@ -666,6 +686,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Store = s.store.info()
 	}
 	resp.Resilience = s.resilienceInfo()
+	if s.cMutBatches.Value() > 0 {
+		resp.Mutations = &MutationInfo{
+			Batches:         s.cMutBatches.Value(),
+			Applied:         s.cMutApplied.Value(),
+			Noops:           s.cMutNoops.Value(),
+			Compactions:     s.cMutCompact.Value(),
+			Invalidated:     s.cMutInvalid.Value(),
+			LastPrevious:    lastPrev,
+			LastFingerprint: lastNew,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"netdecomp/internal/dist"
+	"netdecomp/internal/graph"
 	"netdecomp/internal/resilience"
 )
 
@@ -83,7 +84,7 @@ func (s *Server) handleDecomposeStream(w http.ResponseWriter, r *http.Request) {
 		s.cSSEClients.Inc()
 		startSSE(w, flusher)
 		writeSSE(w, "result", DecomposeResponse{
-			Graph:     keyString(g.Fingerprint()),
+			Graph:     keyString(graph.Fingerprint(g)),
 			Plan:      keyString(pl.PlanKey()),
 			Seed:      pl.Seed(),
 			Algorithm: pl.Name(),

@@ -1,0 +1,72 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"netdecomp/internal/decomp"
+	"netdecomp/internal/gen"
+	"netdecomp/internal/graph"
+	"netdecomp/internal/randx"
+)
+
+func TestInvalidateGraph(t *testing.T) {
+	s := New(WithWorkers(2))
+	defer s.Close()
+	ctx := context.Background()
+
+	pl, err := decomp.Compile("elkin-neiman", decomp.WithForceComplete(), decomp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := gen.GnpConnected(randx.New(1), 60, 0.08)
+	g2 := gen.GnpConnected(randx.New(2), 60, 0.08)
+
+	// Warm the cache with both graphs under two seeds each.
+	for _, g := range []*graph.Graph{g1, g2} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			if _, err := s.Run(ctx, pl.WithSeed(seed), g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := s.Stats().Cached; got != 4 {
+		t.Fatalf("cached = %d, want 4", got)
+	}
+
+	removed := s.InvalidateGraph(graph.Fingerprint(g1))
+	if removed != 2 {
+		t.Fatalf("InvalidateGraph removed %d, want 2", removed)
+	}
+	if got := s.Stats().Cached; got != 2 {
+		t.Fatalf("cached after invalidation = %d, want 2", got)
+	}
+	// The old-fingerprint entries are unreachable: resubmitting g1 is a
+	// miss; g2's entries are untouched and still hit.
+	before := s.Stats()
+	if _, err := s.Run(ctx, pl.WithSeed(1), g1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, pl.WithSeed(1), g2); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("misses %d -> %d, want one new miss for the invalidated graph", before.Misses, after.Misses)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hits %d -> %d, want one hit for the untouched graph", before.Hits, after.Hits)
+	}
+	// Invalidation counts in its own counter, not evictions.
+	if after.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", after.Evictions)
+	}
+	if got := s.Recorder().Counter("session.invalidations").Value(); got != 2 {
+		t.Fatalf("session.invalidations = %d, want 2", got)
+	}
+
+	// Unknown fingerprints are a no-op.
+	if got := s.InvalidateGraph(0xdeadbeef); got != 0 {
+		t.Fatalf("InvalidateGraph(unknown) = %d, want 0", got)
+	}
+}

@@ -147,6 +147,7 @@ type Session struct {
 	cEvicted    *obs.Counter
 	cPanics     *obs.Counter
 	cExecPanics *obs.Counter
+	cInvalid    *obs.Counter
 	gInflight   *obs.Gauge
 	gCached     *obs.Gauge
 	hHit        *obs.Histogram
@@ -227,6 +228,7 @@ func New(opts ...Option) *Session {
 	s.cEvicted = s.rec.Counter("session.evictions")
 	s.cPanics = s.rec.Counter("session.observer.panics")
 	s.cExecPanics = s.rec.Counter("session.exec.panics")
+	s.cInvalid = s.rec.Counter("session.invalidations")
 	s.gInflight = s.rec.Gauge("session.inflight")
 	s.gCached = s.rec.Gauge("session.cached")
 	s.hHit = s.rec.Histogram("session.hit.ns")
@@ -427,6 +429,39 @@ func (s *Session) Peek(pl *decomp.Plan, g graph.Interface) (*decomp.Partition, b
 	}
 	s.hHit.Observe(time.Since(start).Nanoseconds())
 	return p.Clone(), true
+}
+
+// InvalidateGraph drops every cached result keyed to the graph fingerprint
+// fp and returns how many entries were removed. The narrow invalidation
+// primitive for mutable graphs: when a graph is mutated in place behind one
+// serving key, only the results of its old content version become wrong —
+// every other graph's entries (and the mutated graph's new-fingerprint
+// entries, which cannot exist yet) stay cached. Dropped entries count in
+// session.invalidations, not session.evictions: they were removed for
+// correctness, not displaced by the LRU bound.
+//
+// In-flight executions on the old content are left alone: they were keyed
+// by the old fingerprint, so they complete, cache under the old key, and
+// are simply never requested again (the serving layer retires the old
+// fingerprint when it swaps the graph). Callers that re-expose the old
+// fingerprint after an invalidation get recomputed — not stale — results.
+func (s *Session) InvalidateGraph(fp uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, el := range s.items {
+		if key.Graph != fp {
+			continue
+		}
+		s.order.Remove(el)
+		delete(s.items, key)
+		removed++
+	}
+	if removed > 0 {
+		s.cInvalid.Add(int64(removed))
+		s.gCached.Set(int64(s.order.Len()))
+	}
+	return removed
 }
 
 // Recorder returns the session's telemetry recorder (never nil). Layers
